@@ -1,0 +1,64 @@
+"""Figure 3: code-generation time for the five experiment ASPs.
+
+Paper (Tempo-generated JIT on 1998 hardware):
+
+    program                      lines   codegen ms
+    Audio Broadcasting (router)    68        11.0
+    Audio Broadcasting (client)    28         6.2
+    Extensible Web Server          91        15.3
+    MPEG (monitor)                161        33.9
+    MPEG (client)                  53         6.1
+
+Reproduced claim: codegen is milliseconds-fast and scales with program
+size (the MPEG monitor, the largest program, costs the most; the small
+client programs the least).
+"""
+
+import pytest
+
+from repro.experiments.fig3 import (PAPER_PROGRAMS, fig3_codegen_table,
+                                    format_fig3_table)
+from repro.interp.context import RecordingContext
+from repro.jit.pipeline import make_engine
+from repro.lang import parse, typecheck
+
+from .conftest import print_table, shape_check
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = fig3_codegen_table(repeats=7)
+    print()
+    print(format_fig3_table(rows))
+    return rows
+
+
+def test_fig3_shape_codegen_is_fast(benchmark, table):
+    shape_check(benchmark)
+    """Every ASP compiles in single-digit milliseconds (paper: 6-34 ms
+    on a 170 MHz Ultra-1)."""
+    for row in table:
+        for backend, ms in row.codegen_ms.items():
+            assert ms < 50, f"{row.name}/{backend}: {ms:.1f} ms"
+
+
+def test_fig3_shape_cost_scales_with_size(benchmark, table):
+    shape_check(benchmark)
+    """The largest program (MPEG monitor) costs more to compile than the
+    smallest (MPEG client), as in the paper's table."""
+    by_name = {r.name: r for r in table}
+    monitor = by_name["MPEG (monitor)"]
+    client = by_name["MPEG (client)"]
+    assert monitor.lines > client.lines
+    for backend in monitor.codegen_ms:
+        assert monitor.codegen_ms[backend] > client.codegen_ms[backend]
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_PROGRAMS))
+@pytest.mark.parametrize("backend", ["closure", "source"])
+def test_codegen_benchmark(benchmark, name, backend):
+    """pytest-benchmark timings for each (program, JIT backend) cell."""
+    source, _lines, _paper_ms = PAPER_PROGRAMS[name]
+    info = typecheck(parse(source))
+    benchmark.group = f"fig3 codegen: {name}"
+    benchmark(lambda: make_engine(info, backend, RecordingContext()))

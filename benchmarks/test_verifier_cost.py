@@ -1,0 +1,90 @@
+"""§2.1: verifier cost and its claimed complexity behaviour.
+
+The paper argues late checking is practical: the termination state space
+is ~r·d·2^d (r emission sites, d destinations) and duplication reaches a
+fix-point in at most 2^c iterations (c channels) — all small for real
+protocols.  This bench measures verification time for the shipped ASPs
+and for synthetic programs of growing size.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import verify_report
+from repro.asps import (audio_client_asp, audio_router_asp,
+                        http_gateway_asp, mpeg_client_asp,
+                        mpeg_monitor_asp)
+from repro.lang import parse, typecheck
+
+from .conftest import print_table, shape_check
+
+ASPS = {
+    "audio-router": audio_router_asp(),
+    "audio-client": audio_client_asp(),
+    "http-gateway": http_gateway_asp("10.0.1.2",
+                                     ["10.0.2.2", "10.0.3.2"]),
+    "mpeg-monitor": mpeg_monitor_asp(),
+    "mpeg-client": mpeg_client_asp(),
+}
+
+
+def synthetic_program(n_channels: int) -> str:
+    """A chain of n forwarding channels (c0 -> c1 -> ... -> deliver)."""
+    decls = []
+    for i in range(n_channels - 1):
+        decls.append(
+            f"channel c{i}(ps : int, ss : unit, p : ip*udp*blob) is "
+            f"(OnRemote(c{i + 1}, p); (ps, ss))")
+    decls.append(
+        f"channel c{n_channels - 1}(ps : int, ss : unit, "
+        f"p : ip*udp*blob) is (deliver(p); (ps, ss))")
+    return "\n".join(decls)
+
+
+def test_verifier_cost_table(benchmark):
+    shape_check(benchmark)
+    rows = []
+    for name, source in ASPS.items():
+        info = typecheck(parse(source))
+        start = time.perf_counter()
+        report = verify_report(info)
+        elapsed = (time.perf_counter() - start) * 1000
+        assert report.passed
+        gt = report.global_termination
+        rows.append([name, f"{elapsed:.2f}",
+                     gt.states_explored if gt else "-",
+                     gt.emission_sites if gt else "-",
+                     report.duplication.fixpoint_iterations
+                     if report.duplication else "-"])
+    print_table("Verifier cost for the shipped ASPs",
+                ["program", "total ms", "termination states",
+                 "emission sites", "duplication iters"], rows)
+
+
+def test_verifier_scales_with_channel_count(benchmark):
+    shape_check(benchmark)
+    rows = []
+    timings = {}
+    for n in (2, 8, 32):
+        info = typecheck(parse(synthetic_program(n)))
+        start = time.perf_counter()
+        report = verify_report(info)
+        timings[n] = (time.perf_counter() - start) * 1000
+        assert report.passed
+        assert report.duplication is not None
+        # The monotone fix-point settles within c+1 sweeps, far below
+        # the paper's worst-case 2^c schedule.
+        assert report.duplication.fixpoint_iterations <= n + 1
+        rows.append([n, f"{timings[n]:.2f}",
+                     report.duplication.fixpoint_iterations])
+    print_table("Verifier cost vs synthetic program size",
+                ["channels", "total ms", "duplication iters"], rows)
+    assert timings[32] < 2000  # stays practical
+
+
+@pytest.mark.parametrize("name", sorted(ASPS))
+def test_verifier_benchmark(benchmark, name):
+    info = typecheck(parse(ASPS[name]))
+    benchmark.group = "verification"
+    benchmark(lambda: verify_report(info))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Late checking in action (paper §2.1).
+
+Shows the four safety analyses accepting every shipped ASP and
+rejecting three adversarial programs: a destination ping-pong (packet
+cycle), a silent discarder (no guaranteed delivery), and an exponential
+duplicator.
+
+Run:  python examples/verifier_demo.py
+"""
+
+from repro.analysis import verify_report
+from repro.asps import (audio_client_asp, audio_router_asp,
+                        http_gateway_asp, mpeg_client_asp,
+                        mpeg_monitor_asp)
+from repro.lang import parse, typecheck
+
+GOOD = {
+    "audio-router": audio_router_asp(),
+    "audio-client": audio_client_asp(),
+    "http-gateway": http_gateway_asp("10.0.1.2",
+                                     ["10.0.2.2", "10.0.3.2"]),
+    "mpeg-monitor": mpeg_monitor_asp(),
+    "mpeg-client": mpeg_client_asp(),
+}
+
+BAD = {
+    # Ping-pong: every packet bounces back toward its sender, forever.
+    "ping-pong": """
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, (ipSwap(#1 p), udpSwap(#2 p), #3 p)); (ps, ss))
+""",
+    # Black hole: packets for port 7 silently vanish.
+    "black-hole": """
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  if udpDst(#2 p) = 7 then
+    (ps + 1, ss)
+  else
+    (OnRemote(network, p); (ps, ss))
+""",
+    # Amplifier: two copies per hop -> exponential duplication.
+    "amplifier": """
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); OnRemote(network, p); (ps, ss))
+""",
+}
+
+
+def show(name: str, source: str) -> None:
+    report = verify_report(typecheck(parse(source, name)))
+    verdict = "ACCEPTED" if report.passed else "REJECTED"
+    print(f"\n=== {name}: {verdict}")
+    print(report.summary())
+
+
+def main() -> None:
+    for name, source in GOOD.items():
+        show(name, source)
+    for name, source in BAD.items():
+        show(name, source)
+
+
+if __name__ == "__main__":
+    main()

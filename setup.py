@@ -1,0 +1,6 @@
+"""Legacy entry point so `setup.py develop` works in offline environments
+that lack the `wheel` package (all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

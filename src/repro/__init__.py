@@ -1,0 +1,22 @@
+"""PLAN-P: adapting distributed applications with application-specific
+protocols on extensible networks.
+
+A reproduction of Thibault, Marant & Muller, "Adapting Distributed
+Applications Using Extensible Networks" (ICDCS 1999 / INRIA RR-3484).
+
+Package map:
+
+* :mod:`repro.lang` — the PLAN-P language front end;
+* :mod:`repro.interp` — values, primitives, the portable interpreter;
+* :mod:`repro.jit` — the JIT generated from the interpreter;
+* :mod:`repro.analysis` — the four install-time safety analyses;
+* :mod:`repro.net` — the deterministic network simulator;
+* :mod:`repro.runtime` — the IP/PLAN-P layer and deployment;
+* :mod:`repro.asps` — the paper's five ASP programs;
+* :mod:`repro.apps` — the audio / HTTP / MPEG applications;
+* :mod:`repro.experiments` — benchmark harness helpers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

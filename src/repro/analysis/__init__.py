@@ -1,0 +1,26 @@
+"""Static safety analyses for PLAN-P programs (paper §2.1)."""
+
+from .delivery import DeliveryReport, check_delivery
+from .duplication import DuplicationReport, check_duplication
+from .paths import PathSummary, channel_paths
+from .termination import (GlobalTerminationReport, check_global_termination,
+                          check_local_termination)
+from .verifier import (ANALYSES, AnalysisResult, VerificationReport,
+                       verify_program, verify_report)
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisResult",
+    "DeliveryReport",
+    "DuplicationReport",
+    "GlobalTerminationReport",
+    "PathSummary",
+    "VerificationReport",
+    "channel_paths",
+    "check_delivery",
+    "check_duplication",
+    "check_global_termination",
+    "check_local_termination",
+    "verify_program",
+    "verify_report",
+]

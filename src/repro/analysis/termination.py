@@ -1,0 +1,198 @@
+"""Termination analyses (paper §2.1).
+
+**Local termination** holds by construction: PLAN-P has no loop construct
+and the type checker rejects recursive or forward ``fun`` calls.  The
+check here re-verifies that invariant on the (possibly hand-built) AST,
+so the verifier does not silently depend on front-end behaviour.
+
+**Global termination**: a packet could still cycle *through the network*
+if channels keep re-emitting it with rewritten destinations.  Under the
+paper's assumption that IP routing is acyclic, forwarding a packet with
+an *unchanged* destination always makes progress; only emissions that
+rewrite the destination can create network cycles.  The analysis
+performs the paper's exhaustive state exploration: abstract states are
+(channel, abstract destination, abstract port); transitions come from the
+path summaries of :mod:`repro.analysis.paths`; the program is rejected if
+any reachable cycle contains a destination-rewriting emission.  The state
+space is on the order of r·d·2^d as the paper reports (r = emission
+sites, d = destinations known to the program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..lang import ast
+from ..lang.errors import VerificationError
+from ..lang.typechecker import ProgramInfo
+from .paths import (Dst, DstKind, Emission, PathSummary, Port, PortKind,
+                    channel_paths)
+
+
+# ---------------------------------------------------------------------------
+# Local termination
+# ---------------------------------------------------------------------------
+
+
+def check_local_termination(info: ProgramInfo) -> None:
+    """Verify the structural restrictions that guarantee local
+    termination: a DAG of function calls and no loop constructs."""
+    order = {name: i for i, name in enumerate(info.funs)}
+    for name, fun in info.funs.items():
+        for call in ast.calls_in(fun.decl.body):
+            if call.func == name:
+                raise VerificationError(
+                    f"function {name!r} calls itself; recursion breaks "
+                    f"local termination", call.pos, analysis="termination")
+            if call.func in order and order[call.func] >= order[name]:
+                raise VerificationError(
+                    f"function {name!r} calls {call.func!r}, declared "
+                    f"later; forward calls admit recursion", call.pos,
+                    analysis="termination")
+    # No loop construct exists in the AST; assert defensively in case the
+    # language grows one without this analysis being revisited.
+    for decl in info.all_channels():
+        for node in ast.walk(decl.body):
+            if type(node).__name__ in ("While", "Loop", "For"):
+                raise VerificationError(
+                    "loop constructs break local termination", decl.pos,
+                    analysis="termination")
+
+
+# ---------------------------------------------------------------------------
+# Global termination
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    """(channel decl, resolved destination, resolved port)."""
+
+    channel: str
+    overload: int
+    dst: Dst
+    port: Port
+
+    def pretty(self) -> str:
+        return f"{self.channel}[{self.overload}] dst={self.dst} " \
+               f"port={self.port}"
+
+
+#: Resolved destination meaning "the application's original destination".
+DST_APP = Dst(DstKind.ORIG)
+#: Resolved destination "the original sender".
+DST_SRCLOC = Dst(DstKind.SRC)
+PORT_APP = Port(PortKind.ORIG)
+
+
+def _resolve_dst(emitted: Dst, current: Dst) -> Dst:
+    if emitted.kind is DstKind.ORIG:
+        return current
+    if emitted.kind is DstKind.SRC:
+        # "src of the packet being processed": only meaningful when that
+        # packet is still the application's original.
+        if current == DST_APP:
+            return DST_SRCLOC
+        return Dst(DstKind.TOP)
+    return emitted  # THIS, LIT, TOP are absolute
+
+
+def _resolve_port(emitted: Port, current: Port) -> Port:
+    if emitted.kind is PortKind.ORIG:
+        return current
+    return emitted
+
+
+def _is_rewrite(emission: Emission, current_dst: Dst,
+                resolved: Dst) -> bool:
+    """Does this emission send the packet somewhere other than where it
+    was already going?  OnNeighbor always redirects (it bypasses
+    routing); unknown destinations are conservatively rewrites."""
+    if emission.neighbor_bound:
+        return True
+    if emission.dst.kind is DstKind.ORIG:
+        return False
+    if resolved.kind is DstKind.TOP or resolved.kind is DstKind.THIS:
+        return True
+    return resolved != current_dst
+
+
+@dataclass
+class GlobalTerminationReport:
+    states_explored: int = 0
+    edges: int = 0
+    rewrite_edges: int = 0
+    emission_sites: int = 0
+
+
+def check_global_termination(info: ProgramInfo) -> GlobalTerminationReport:
+    """Explore the abstract state space and reject cycling programs.
+
+    Raises :class:`VerificationError` if a reachable abstract cycle
+    contains a destination-rewriting emission (a packet could then visit
+    the same channel in the same abstract configuration indefinitely,
+    i.e. cycle through the network)."""
+    decls: list[tuple[str, int, ast.ChannelDecl]] = []
+    for name, overloads in info.channels.items():
+        for i, decl in enumerate(overloads):
+            decls.append((name, i, decl))
+
+    paths_of: dict[tuple[str, int], list[PathSummary]] = {}
+    emission_sites = 0
+    for name, i, decl in decls:
+        summaries = channel_paths(info, decl)
+        paths_of[(name, i)] = summaries
+        emission_sites += sum(len(p.emissions) for p in summaries)
+
+    graph = nx.DiGraph()
+    # Every channel can receive a fresh application packet.
+    frontier = [_State(name, i, DST_APP, PORT_APP) for name, i, _ in decls]
+    seen: set[_State] = set(frontier)
+    rewrite_edges: list[tuple[_State, _State, Emission]] = []
+
+    while frontier:
+        state = frontier.pop()
+        graph.add_node(state)
+        for path in paths_of[(state.channel, state.overload)]:
+            if not path.constraint.admits(state.port, state.dst):
+                continue
+            for emission in path.emissions:
+                resolved_dst = _resolve_dst(emission.dst, state.dst)
+                resolved_port = _resolve_port(emission.port, state.port)
+                rewrite = _is_rewrite(emission, state.dst, resolved_dst)
+                for succ_i, succ_decl in enumerate(
+                        info.channel_overloads(emission.target)):
+                    succ = _State(emission.target, succ_i, resolved_dst,
+                                  resolved_port)
+                    if graph.has_edge(state, succ):
+                        rewrite = rewrite or \
+                            graph.edges[state, succ]["rewrite"]
+                    graph.add_edge(state, succ, rewrite=rewrite,
+                                   emission=emission)
+                    if rewrite:
+                        rewrite_edges.append((state, succ, emission))
+                    if succ not in seen:
+                        seen.add(succ)
+                        frontier.append(succ)
+
+    for component in nx.strongly_connected_components(graph):
+        for u, v, data in graph.edges(component, data=True):
+            in_cycle = (u in component and v in component
+                        and (len(component) > 1 or graph.has_edge(u, u)))
+            if in_cycle and data["rewrite"]:
+                emission = data["emission"]
+                raise VerificationError(
+                    f"possible packet cycle: channel {u.channel!r} "
+                    f"(state dst={u.dst}, port={u.port}) re-emits on "
+                    f"channel {v.channel!r} with a rewritten destination "
+                    f"{v.dst} (line {emission.line}); under acyclic IP "
+                    f"routing only destination-preserving forwards are "
+                    f"provably terminating", analysis="termination")
+
+    return GlobalTerminationReport(
+        states_explored=len(seen),
+        edges=graph.number_of_edges(),
+        rewrite_edges=len(rewrite_edges),
+        emission_sites=emission_sites)

@@ -1,0 +1,110 @@
+"""The late-checking verifier embedded in the run-time system.
+
+When a program is downloaded into a node's PLAN-P layer, the four safety
+analyses of paper §2.1 run against the source before installation:
+
+1. local termination (structural restrictions),
+2. global termination (abstract state exploration),
+3. guaranteed packet delivery,
+4. safe (linear) packet duplication.
+
+``verify_program`` raises :class:`VerificationError` on the first failed
+analysis; ``verify_report`` runs all of them and returns a structured
+report, which the deployment tooling prints to operators.
+
+The paper notes that some legitimate protocols cannot be proven (e.g.
+multicast-style duplication); the run-time accepts those only from
+authenticated privileged users — modelled by ``Deployment.install(...,
+verify=False)`` in :mod:`repro.runtime.deployment`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..lang.errors import VerificationError
+from ..lang.typechecker import ProgramInfo
+from .delivery import DeliveryReport, check_delivery
+from .duplication import DuplicationReport, check_duplication
+from .termination import (GlobalTerminationReport, check_global_termination,
+                          check_local_termination)
+
+#: The order analyses run in (cheapest first).
+ANALYSES = ("local-termination", "global-termination", "delivery",
+            "duplication")
+
+
+@dataclass
+class AnalysisResult:
+    name: str
+    passed: bool
+    elapsed_ms: float
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """All four analyses' outcomes for one program."""
+
+    results: list[AnalysisResult] = field(default_factory=list)
+    global_termination: GlobalTerminationReport | None = None
+    delivery: DeliveryReport | None = None
+    duplication: DuplicationReport | None = None
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[AnalysisResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        lines = []
+        for r in self.results:
+            status = "PASS" if r.passed else "FAIL"
+            detail = f" — {r.detail}" if r.detail else ""
+            lines.append(f"{status} {r.name} ({r.elapsed_ms:.2f} ms)"
+                         f"{detail}")
+        return "\n".join(lines)
+
+
+def verify_report(info: ProgramInfo) -> VerificationReport:
+    """Run all four analyses, collecting outcomes (never raises)."""
+    report = VerificationReport()
+
+    def run(name: str, fn) -> None:
+        start = time.perf_counter()
+        try:
+            value = fn(info)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            report.results.append(AnalysisResult(name, True, elapsed))
+            if isinstance(value, GlobalTerminationReport):
+                report.global_termination = value
+            elif isinstance(value, DeliveryReport):
+                report.delivery = value
+            elif isinstance(value, DuplicationReport):
+                report.duplication = value
+        except VerificationError as err:
+            elapsed = (time.perf_counter() - start) * 1000.0
+            report.results.append(
+                AnalysisResult(name, False, elapsed, detail=err.message))
+
+    run("local-termination", check_local_termination)
+    run("global-termination", check_global_termination)
+    run("delivery", check_delivery)
+    run("duplication", check_duplication)
+    return report
+
+
+def verify_program(info: ProgramInfo) -> VerificationReport:
+    """Run all four analyses; raise on the first failure.
+
+    This is the install-time gate of the run-time system."""
+    check_local_termination(info)
+    report = VerificationReport()
+    report.global_termination = check_global_termination(info)
+    report.delivery = check_delivery(info)
+    report.duplication = check_duplication(info)
+    return report

@@ -1,0 +1,1 @@
+"""The paper's three demonstration applications (audio, HTTP, MPEG)."""

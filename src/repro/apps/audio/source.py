@@ -1,0 +1,50 @@
+"""The audio broadcasting application (unmodified by adaptation).
+
+"A simple utility that broadcasts CD quality audio ... using IP
+multicast" — a periodic frame clock pushing 16-bit stereo datagrams to a
+multicast group.  It knows nothing about the router ASP.
+"""
+
+from __future__ import annotations
+
+from ...asps.audio import AUDIO_PORT, FMT_STEREO16
+from ...net.addresses import HostAddr
+from ...net.node import Host
+from ...net.sim import PeriodicTask
+from ...net.topology import Network
+from .codec import (DEFAULT_FRAME_MS, DEFAULT_SAMPLE_RATE, encode_frame,
+                    generate_pcm_stereo16, samples_per_frame)
+
+
+class AudioSource:
+    """Broadcasts an audio stream to a multicast group."""
+
+    def __init__(self, net: Network, host: Host, group: HostAddr,
+                 port: int = AUDIO_PORT,
+                 sample_rate: int = DEFAULT_SAMPLE_RATE,
+                 frame_ms: int = DEFAULT_FRAME_MS):
+        self.net = net
+        self.host = host
+        self.group = group
+        self.port = port
+        self.sample_rate = sample_rate
+        self.frame_interval = frame_ms / 1000.0
+        self.samples = samples_per_frame(sample_rate, frame_ms)
+        self.frames_sent = 0
+        self._socket = net.udp(host).bind(port)
+        self._task: PeriodicTask | None = None
+
+    def start(self, at: float = 0.0, until: float | None = None) -> None:
+        self._task = self.net.sim.every(self.frame_interval, self._tick,
+                                        start=at, until=until)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _tick(self) -> None:
+        pcm = generate_pcm_stereo16(self.frames_sent, self.samples,
+                                    sample_rate=self.sample_rate)
+        payload = encode_frame(FMT_STEREO16, self.frames_sent, pcm)
+        self._socket.sendto(self.group, self.port, payload)
+        self.frames_sent += 1

@@ -1,0 +1,28 @@
+"""Extensible HTTP server with load balancing (paper 3.2)."""
+
+from .client import CompletedRequest, HttpClientWorker
+from .cluster import ClusterManager, HealthResponder
+from .experiment import (MODES, HttpExperimentResult, run_fig8_sweep,
+                         run_http_experiment)
+from .gateway_c import BuiltinGateway, GatewayStats
+from .server import HTTP_PORT, HttpServer, ServedRequest
+from .trace import Trace, TraceEntry, generate_trace
+
+__all__ = [
+    "BuiltinGateway",
+    "ClusterManager",
+    "HealthResponder",
+    "CompletedRequest",
+    "GatewayStats",
+    "HTTP_PORT",
+    "HttpClientWorker",
+    "HttpExperimentResult",
+    "HttpServer",
+    "MODES",
+    "ServedRequest",
+    "Trace",
+    "TraceEntry",
+    "generate_trace",
+    "run_fig8_sweep",
+    "run_http_experiment",
+]

@@ -1,0 +1,161 @@
+"""Closed-loop HTTP clients.
+
+"Clients continuously issue requests so as to measure the maximum load
+the clustered server can handle" (paper §3.2): each worker keeps exactly
+one request outstanding — connect, request, read the full response,
+repeat — so offered load scales with the number of workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...net.addresses import HostAddr
+from ...net.node import Host
+from ...net.tcp import TcpConnection, TcpError
+from ...net.topology import Network
+from .server import HTTP_PORT
+from .trace import Trace
+
+
+@dataclass
+class CompletedRequest:
+    path: str
+    bytes_received: int
+    started: float
+    completed: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.started
+
+
+class HttpClientWorker:
+    """One closed-loop request generator."""
+
+    def __init__(self, net: Network, host: Host, server: HostAddr,
+                 trace: Trace, *, port: int = HTTP_PORT,
+                 trace_offset: int = 0, think_time: float = 0.0,
+                 retry_delay: float = 0.1,
+                 request_timeout: float = 10.0):
+        self.net = net
+        self.host = host
+        self.server = server
+        self.port = port
+        self.think_time = think_time
+        self.retry_delay = retry_delay
+        #: application-level deadline per request: a server that dies
+        #: mid-response leaves no TCP timer running, so the client must
+        #: give up on its own (as real HTTP clients do)
+        self.request_timeout = request_timeout
+        self.completed: list[CompletedRequest] = []
+        self.failures = 0
+        self._stream = trace.request_stream(start=trace_offset)
+        self._stopped = False
+        self._buffer = bytearray()
+        self._expected: int | None = None
+        self._current_path = ""
+        self._started_at = 0.0
+        self._conn: TcpConnection | None = None
+        self._deadline = None
+
+    def start(self, at: float = 0.0) -> None:
+        self.net.sim.at(at, self._next_request)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- request cycle ----------------------------------------------------------
+
+    def _next_request(self) -> None:
+        if self._stopped:
+            return
+        entry = next(self._stream)
+        self._current_path = entry.path
+        self._started_at = self.net.sim.now
+        self._buffer = bytearray()
+        self._expected = None
+        try:
+            conn = self.net.tcp(self.host).connect(self.server, self.port)
+        except TcpError:
+            self._on_failure()
+            return
+        conn.on_connected = self._on_connected
+        conn.on_data = self._on_data
+        conn.on_close = self._on_conn_close
+        conn.on_fail = lambda c: self._on_failure()
+        self._conn = conn
+        self._deadline = self.net.sim.schedule(self.request_timeout,
+                                               self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        if self._stopped or self._conn is None:
+            return
+        conn, self._conn = self._conn, None
+        conn.on_fail = None
+        conn.on_close = None
+        conn.abort()
+        self._on_failure()
+
+    def _on_connected(self, conn: TcpConnection) -> None:
+        request = f"GET {self._current_path} HTTP/1.0\r\n\r\n"
+        conn.send(request.encode("latin-1"))
+
+    def _on_data(self, conn: TcpConnection, data: bytes) -> None:
+        self._buffer.extend(data)
+        if self._expected is None and b"\r\n\r\n" in self._buffer:
+            header, _, _body = bytes(self._buffer).partition(b"\r\n\r\n")
+            for line in header.split(b"\r\n")[1:]:
+                if line.lower().startswith(b"content-length:"):
+                    self._expected = int(line.split(b":", 1)[1])
+        if self._expected is not None:
+            _header, _, body = bytes(self._buffer).partition(b"\r\n\r\n")
+            if len(body) >= self._expected:
+                self._complete(conn, len(body))
+
+    def _complete(self, conn: TcpConnection, body_bytes: int) -> None:
+        if self._expected is None:
+            return
+        self._expected = None
+        self._conn = None
+        if self._deadline is not None:
+            self._deadline.cancel()
+        self.completed.append(CompletedRequest(
+            path=self._current_path, bytes_received=body_bytes,
+            started=self._started_at, completed=self.net.sim.now))
+        conn.close()
+        if self.think_time > 0:
+            self.net.sim.schedule(self.think_time, self._next_request)
+        else:
+            self.net.sim.schedule(0.0, self._next_request)
+
+    def _on_conn_close(self, conn: TcpConnection) -> None:
+        # Server closed first; if the response was complete we already
+        # moved on, otherwise treat as failure.
+        if self._expected is not None or (not self.completed
+                                          and self._buffer):
+            body = bytes(self._buffer).partition(b"\r\n\r\n")[2]
+            if self._expected is not None and len(body) >= self._expected:
+                self._complete(conn, len(body))
+
+    def _on_failure(self) -> None:
+        self.failures += 1
+        self._conn = None
+        if self._deadline is not None:
+            self._deadline.cancel()
+        if not self._stopped:
+            self.net.sim.schedule(self.retry_delay, self._next_request)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def throughput(self, window: tuple[float, float]) -> float:
+        start, end = window
+        count = sum(1 for r in self.completed
+                    if start <= r.completed < end)
+        return count / (end - start) if end > start else 0.0
+
+    def mean_latency(self, window: tuple[float, float]) -> float:
+        start, end = window
+        lats = [r.latency for r in self.completed
+                if start <= r.completed < end]
+        return sum(lats) / len(lats) if lats else 0.0

@@ -1,0 +1,166 @@
+"""A simulated HTTP/1.0 server (the Apache 1.2.6 stand-in).
+
+Serves ``GET`` requests over the TCP substrate.  Request processing
+costs simulated CPU time (parse + per-byte copy cost); the CPU is a
+single serial resource, so throughput saturates at roughly
+``1 / service_time`` requests per second no matter how many connections
+are open — which is what makes the figure 8 saturation plateaus
+meaningful.  ``workers`` bounds concurrently accepted requests, like
+Apache's 5-10 child processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ...net.node import Host
+from ...net.tcp import TcpConnection
+from ...net.topology import Network
+
+HTTP_PORT = 80
+
+#: CPU cost model: fixed per-request cost plus per-byte copy cost.
+BASE_CPU_S = 0.004
+PER_BYTE_CPU_S = 2.0e-7
+
+
+@dataclass
+class ServedRequest:
+    path: str
+    size: int
+    arrived: float
+    completed: float
+
+
+class HttpServer:
+    """One physical web server."""
+
+    def __init__(self, net: Network, host: Host,
+                 sizes: dict[str, int], *, port: int = HTTP_PORT,
+                 workers: int = 8, base_cpu_s: float = BASE_CPU_S,
+                 per_byte_cpu_s: float = PER_BYTE_CPU_S):
+        self.net = net
+        self.host = host
+        self.sizes = sizes
+        self.port = port
+        self.workers = workers
+        self.base_cpu_s = base_cpu_s
+        self.per_byte_cpu_s = per_byte_cpu_s
+
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.errors = 0
+        self.served: list[ServedRequest] = []
+        self._cpu_busy_until = 0.0
+        self._active_workers = 0
+        self._backlog: deque[tuple[TcpConnection, str, float]] = deque()
+        self._buffers: dict[int, bytearray] = {}
+
+        net.tcp(host).listen(port, self._on_accept)
+
+    # -- connection handling ---------------------------------------------------
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        self._buffers[id(conn)] = bytearray()
+        conn.on_data = self._on_data
+        conn.on_close = self._on_close
+
+    def _on_close(self, conn: TcpConnection) -> None:
+        self._buffers.pop(id(conn), None)
+
+    def _on_data(self, conn: TcpConnection, data: bytes) -> None:
+        buffer = self._buffers.setdefault(id(conn), bytearray())
+        buffer.extend(data)
+        if b"\r\n\r\n" not in buffer:
+            return
+        request, _, _rest = bytes(buffer).partition(b"\r\n\r\n")
+        self._buffers[id(conn)] = bytearray()
+        path = self._parse_path(request)
+        if path is None:
+            self.errors += 1
+            self._respond(conn, 400, b"bad request")
+            return
+        self._enqueue(conn, path)
+
+    @staticmethod
+    def _parse_path(request: bytes) -> str | None:
+        try:
+            line = request.split(b"\r\n", 1)[0].decode("latin-1")
+            method, path, _version = line.split(" ", 2)
+        except ValueError:
+            return None
+        if method != "GET":
+            return None
+        return path
+
+    # -- the CPU model -----------------------------------------------------------
+
+    def _enqueue(self, conn: TcpConnection, path: str) -> None:
+        self._backlog.append((conn, path, self.net.sim.now))
+        self._maybe_start_worker()
+
+    def _maybe_start_worker(self) -> None:
+        if self._active_workers >= self.workers or not self._backlog:
+            return
+        conn, path, arrived = self._backlog.popleft()
+        self._active_workers += 1
+        size = self.sizes.get(path, 0)
+        cpu = self.base_cpu_s + size * self.per_byte_cpu_s
+        # The CPU is serial: this request's work starts when the CPU
+        # frees up, regardless of worker concurrency.
+        now = self.net.sim.now
+        start = max(now, self._cpu_busy_until)
+        self._cpu_busy_until = start + cpu
+        done_at = self._cpu_busy_until
+
+        def finish() -> None:
+            self._active_workers -= 1
+            self._finish_request(conn, path, size, arrived)
+            self._maybe_start_worker()
+
+        self.net.sim.at(done_at, finish)
+
+    def _finish_request(self, conn: TcpConnection, path: str, size: int,
+                        arrived: float) -> None:
+        if path not in self.sizes:
+            self.errors += 1
+            self._respond(conn, 404, b"not found")
+            return
+        body = self._body_for(path, size)
+        headers = (f"HTTP/1.0 200 OK\r\nContent-Length: {len(body)}\r\n"
+                   f"\r\n").encode("latin-1")
+        try:
+            conn.send(headers + body)
+            conn.close()
+        except Exception:
+            self.errors += 1
+            return
+        self.requests_served += 1
+        self.bytes_served += len(body)
+        self.served.append(ServedRequest(path=path, size=size,
+                                         arrived=arrived,
+                                         completed=self.net.sim.now))
+
+    @staticmethod
+    def _body_for(path: str, size: int) -> bytes:
+        stamp = path.encode("latin-1")
+        reps = size // max(len(stamp), 1) + 1
+        return (stamp * reps)[:size]
+
+    def _respond(self, conn: TcpConnection, code: int,
+                 message: bytes) -> None:
+        reason = {400: "Bad Request", 404: "Not Found"}.get(code, "Error")
+        headers = (f"HTTP/1.0 {code} {reason}\r\nContent-Length: "
+                   f"{len(message)}\r\n\r\n").encode("latin-1")
+        try:
+            conn.send(headers + message)
+            conn.close()
+        except Exception:
+            pass
+
+    def throughput(self, window: tuple[float, float]) -> float:
+        """Requests completed per second inside a time window."""
+        start, end = window
+        count = sum(1 for r in self.served if start <= r.completed < end)
+        return count / (end - start) if end > start else 0.0

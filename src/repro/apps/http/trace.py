@@ -1,0 +1,72 @@
+"""Synthetic web trace generation and replay order.
+
+Substitutes the paper's replayed IRISA trace of 80,000 accesses (see
+DESIGN.md §2): file popularity is Zipf-distributed and sizes are
+lognormal, the standard findings for 1990s web workloads.  Generation is
+fully deterministic from the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    path: str
+    size: int
+
+
+@dataclass
+class Trace:
+    """A reusable request sequence over a fixed file population."""
+
+    entries: list[TraceEntry]
+    sizes: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, i: int) -> TraceEntry:
+        return self.entries[i]
+
+    def request_stream(self, start: int = 0):
+        """An infinite, wrapping iterator over the trace (clients issue
+        requests continuously in the paper's measurement)."""
+        i = start
+        n = len(self.entries)
+        while True:
+            yield self.entries[i % n]
+            i += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self.entries)
+
+    @property
+    def mean_size(self) -> float:
+        return self.total_bytes / len(self.entries)
+
+
+def generate_trace(n_requests: int = 80_000, *, n_files: int = 1000,
+                   zipf_a: float = 1.3, median_size: int = 4096,
+                   sigma: float = 1.0, max_size: int = 262_144,
+                   min_size: int = 128, seed: int = 0) -> Trace:
+    """Build a trace of ``n_requests`` accesses to ``n_files`` documents.
+
+    ``zipf_a`` is numpy's Zipf shape parameter (must be > 1); document
+    ranks beyond ``n_files`` wrap around, keeping the catalogue finite.
+    """
+    rng = np.random.default_rng(seed)
+    file_sizes = np.exp(rng.normal(np.log(median_size), sigma,
+                                   size=n_files))
+    file_sizes = np.clip(file_sizes, min_size, max_size).astype(int)
+    sizes = {f"/doc{i:05d}.html": int(file_sizes[i])
+             for i in range(n_files)}
+
+    ranks = (rng.zipf(zipf_a, size=n_requests) - 1) % n_files
+    paths = [f"/doc{r:05d}.html" for r in ranks]
+    entries = [TraceEntry(path=p, size=sizes[p]) for p in paths]
+    return Trace(entries=entries, sizes=sizes)

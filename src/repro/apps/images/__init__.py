@@ -1,0 +1,17 @@
+"""Image distillation over low-bandwidth links (paper section 5)."""
+
+from .library import build_library, checkerboard, gradient, rings
+from .service import (FetchResult, ImageClient, ImageExperimentResult,
+                      ImageServer, run_image_experiment)
+
+__all__ = [
+    "FetchResult",
+    "ImageClient",
+    "ImageExperimentResult",
+    "ImageServer",
+    "build_library",
+    "checkerboard",
+    "gradient",
+    "rings",
+    "run_image_experiment",
+]

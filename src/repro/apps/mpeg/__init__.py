@@ -1,0 +1,22 @@
+"""Point-to-point to multipoint MPEG delivery (paper 3.3)."""
+
+from .client import ClientMode, MpegClient
+from .experiment import MpegExperimentResult, run_mpeg_experiment
+from .server import VIDEO_SRC_PORT, MpegServer
+from .stream import (CHUNK_HEADER_BYTES, MAX_CHUNK_DATA, FrameAssembler,
+                     MpegStream, fragment_frame, parse_chunk)
+
+__all__ = [
+    "CHUNK_HEADER_BYTES",
+    "ClientMode",
+    "FrameAssembler",
+    "MAX_CHUNK_DATA",
+    "MpegClient",
+    "MpegExperimentResult",
+    "MpegServer",
+    "MpegStream",
+    "VIDEO_SRC_PORT",
+    "fragment_frame",
+    "parse_chunk",
+    "run_mpeg_experiment",
+]

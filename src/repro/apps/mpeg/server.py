@@ -1,0 +1,130 @@
+"""The point-to-point MPEG video server (never modified, paper §3.3).
+
+Control protocol over TCP (``MPEG_CTRL_PORT``):
+
+* client sends ``PLAY <file> <udp_port>\\n``;
+* server answers with the stream's setup line and starts unicasting
+  video chunks to the client's address and UDP port.
+
+Each PLAY gets its *own* unicast stream — the server is strictly
+point-to-point; sharing happens entirely in the network, through the
+monitor and capture ASPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...asps.mpeg import MPEG_CTRL_PORT
+from ...net.addresses import HostAddr
+from ...net.node import Host
+from ...net.sim import PeriodicTask
+from ...net.tcp import TcpConnection
+from ...net.topology import Network
+from .stream import MpegStream, fragment_frame
+
+#: UDP source port of the server's video traffic.
+VIDEO_SRC_PORT = 8001
+
+
+@dataclass
+class _Session:
+    """One unicast delivery of a live stream."""
+
+    stream: MpegStream
+    client: HostAddr
+    port: int
+    frames_sent: int = 0
+    bytes_sent: int = 0
+
+
+class MpegServer:
+    """Serves live streams to point-to-point clients."""
+
+    def __init__(self, net: Network, host: Host,
+                 streams: dict[str, MpegStream], *,
+                 ctrl_port: int = MPEG_CTRL_PORT):
+        self.net = net
+        self.host = host
+        self.streams = dict(streams)
+        self.ctrl_port = ctrl_port
+        self.sessions: list[_Session] = []
+        self.play_requests = 0
+        self.errors = 0
+        #: live frame clocks, one per actively-streamed file
+        self._clocks: dict[str, PeriodicTask] = {}
+        self._frame_no: dict[str, int] = {}
+        self._buffers: dict[int, bytearray] = {}
+        self._socket = net.udp(host).bind(VIDEO_SRC_PORT)
+        net.tcp(host).listen(ctrl_port, self._on_accept)
+
+    # -- control plane ----------------------------------------------------------
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        self._buffers[id(conn)] = bytearray()
+        conn.on_data = self._on_data
+        conn.on_close = lambda c: self._buffers.pop(id(c), None)
+
+    def _on_data(self, conn: TcpConnection, data: bytes) -> None:
+        buffer = self._buffers.setdefault(id(conn), bytearray())
+        buffer.extend(data)
+        if b"\n" not in buffer:
+            return
+        line, _, rest = bytes(buffer).partition(b"\n")
+        self._buffers[id(conn)] = bytearray(rest)
+        self._handle_request(conn, line.decode("latin-1").strip())
+
+    def _handle_request(self, conn: TcpConnection, line: str) -> None:
+        parts = line.split(" ")
+        if len(parts) != 3 or parts[0] != "PLAY":
+            self.errors += 1
+            conn.send(b"ERROR bad request\n")
+            conn.close()
+            return
+        _, name, port_text = parts
+        stream = self.streams.get(name)
+        if stream is None:
+            self.errors += 1
+            conn.send(f"ERROR no such stream {name}\n".encode("latin-1"))
+            conn.close()
+            return
+        self.play_requests += 1
+        session = _Session(stream=stream, client=conn.remote_addr,
+                           port=int(port_text))
+        self.sessions.append(session)
+        conn.send((stream.setup_line() + "\n").encode("latin-1"))
+        conn.close()
+        self._ensure_clock(stream)
+
+    # -- data plane -----------------------------------------------------------------
+
+    def _ensure_clock(self, stream: MpegStream) -> None:
+        if stream.name in self._clocks:
+            return
+        self._frame_no.setdefault(stream.name, 0)
+        self._clocks[stream.name] = self.net.sim.every(
+            1.0 / stream.fps, lambda: self._tick(stream))
+
+    def _tick(self, stream: MpegStream) -> None:
+        frame_no = self._frame_no[stream.name]
+        self._frame_no[stream.name] = frame_no + 1
+        targets = [s for s in self.sessions
+                   if s.stream.name == stream.name]
+        if not targets:
+            return
+        chunks = fragment_frame(frame_no, stream.frame_type(frame_no),
+                                stream.frame_size(frame_no))
+        for session in targets:
+            for chunk in chunks:
+                self._socket.sendto(session.client, session.port, chunk)
+                session.bytes_sent += len(chunk)
+            session.frames_sent += 1
+
+    def stop(self) -> None:
+        for clock in self._clocks.values():
+            clock.stop()
+        self._clocks.clear()
+
+    @property
+    def total_video_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.sessions)

@@ -1,0 +1,50 @@
+"""The Application-Specific Protocols of the paper's experiments.
+
+Five PLAN-P programs, matching the lineup of Figure 3:
+
+=====================  =============================================
+``audio_router_asp``   bandwidth adaptation in routers      (§3.1)
+``audio_client_asp``   format restoration at audio clients  (§3.1)
+``http_gateway_asp``   load-balancing virtual HTTP server   (§3.2)
+``mpeg_monitor_asp``   connection monitor / query responder (§3.3)
+``mpeg_client_asp``    packet capture at MPEG clients       (§3.3)
+=====================  =============================================
+
+Each is a template function returning PLAN-P source specialised with the
+deployment's addresses and policy parameters — the paper's point that
+ASPs "can be easily modified to reflect a change in the number [of]
+physical servers or the topology" is literally this parameterisation.
+"""
+
+from .audio import (AUDIO_PORT, FMT_MONO16, FMT_MONO8, FMT_STEREO16,
+                    audio_client_asp, audio_router_asp)
+from .filters import (content_filter_asp, firewall_asp,
+                      link_compressor_asp, link_decompressor_asp)
+from .http import HTTP_PORT, http_gateway_asp
+from .images import IMAGE_PORT, image_distiller_asp
+from .mpeg import (CAPTURE_CONFIG_PORT, MONITOR_QUERY_PORT,
+                   MONITOR_REPLY_PORT, MPEG_CTRL_PORT, mpeg_client_asp,
+                   mpeg_monitor_asp)
+
+__all__ = [
+    "AUDIO_PORT",
+    "CAPTURE_CONFIG_PORT",
+    "FMT_MONO16",
+    "FMT_MONO8",
+    "FMT_STEREO16",
+    "HTTP_PORT",
+    "IMAGE_PORT",
+    "MONITOR_QUERY_PORT",
+    "MONITOR_REPLY_PORT",
+    "MPEG_CTRL_PORT",
+    "audio_client_asp",
+    "audio_router_asp",
+    "content_filter_asp",
+    "firewall_asp",
+    "link_compressor_asp",
+    "link_decompressor_asp",
+    "http_gateway_asp",
+    "image_distiller_asp",
+    "mpeg_client_asp",
+    "mpeg_monitor_asp",
+]

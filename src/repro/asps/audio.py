@@ -1,0 +1,135 @@
+"""The audio-broadcast ASPs of paper §3.1.
+
+Wire format of an audio datagram (UDP, ``AUDIO_PORT``):
+
+    byte 0      format tag: 0 = 16-bit stereo, 1 = 16-bit mono,
+                            2 = 8-bit monaural
+    bytes 1..4  frame sequence number (big-endian)
+    bytes 5..   PCM samples (signed 16-bit LE, or unsigned 8-bit)
+
+The router program measures the outgoing link locally (``linkLoad``) and
+degrades the stream when headroom shrinks; the client program restores
+degraded frames to 16-bit stereo so the unmodified audio application
+keeps working.  The three quality levels consume bandwidth in the 4:2:1
+ratio of the paper's figure 6 (176 / 88 / 44 kbit/s).
+"""
+
+from __future__ import annotations
+
+AUDIO_PORT = 7000
+
+FMT_STEREO16 = 0
+FMT_MONO16 = 1
+FMT_MONO8 = 2
+
+#: Bytes of per-frame header (format tag + sequence number).
+FRAME_HEADER_BYTES = 5
+
+
+def audio_router_asp(*, audio_port: int = AUDIO_PORT,
+                     headroom_low_kbps: int = 600,
+                     headroom_mid_kbps: int = 1600) -> str:
+    """The router adaptation program (68-line class of Figure 3).
+
+    ``headroom_low_kbps``/``headroom_mid_kbps`` are the policy knobs the
+    paper's "quickly test new strategies" claim is about: spare segment
+    capacity below *low* forces 8-bit mono, below *mid* 16-bit mono.
+    """
+    return f"""\
+-- Audio broadcasting: bandwidth adaptation in the router (paper 3.1).
+-- Degrades the audio stream when the outgoing segment gets loaded;
+-- measurement is local, so adaptation is immediate (no feedback loop).
+
+val audioPort : int = {audio_port}
+val headLow : int = {headroom_low_kbps}   -- kbit/s spare => 8-bit mono
+val headMid : int = {headroom_mid_kbps}   -- kbit/s spare => 16-bit mono
+
+fun targetFmt(headroom : int) : int =
+  if headroom < headLow then 2
+  else if headroom < headMid then 1
+  else 0
+
+fun degrade(pcm : blob, fromFmt : int, toFmt : int) : blob =
+  if fromFmt = 0 andalso toFmt = 1 then
+    audioStereoToMono(pcm)
+  else if fromFmt = 0 andalso toFmt = 2 then
+    audio16to8(audioStereoToMono(pcm))
+  else if fromFmt = 1 andalso toFmt = 2 then
+    audio16to8(pcm)
+  else
+    pcm
+
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udp : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpDst(udp) = audioPort then
+      try
+        let
+          val group : host = ipDst(iph)
+          val headroom : int = linkBandwidth(group) - linkLoad(group)
+          val fmt : int = blobByte(body, 0)
+          val want : int = targetFmt(headroom)
+          val out : int = if want < fmt then fmt else want
+        in
+          if out = fmt then
+            -- quality already at (or below) the target: pass through
+            (OnRemote(network, p); (ps, ss))
+          else
+            let
+              val hdr : blob = blobWithByte(blobSub(body, 0, 5), 0, out)
+              val pcm : blob = blobSub(body, 5, blobLen(body) - 5)
+            in
+              (OnRemote(network,
+                        (iph, udp, blobCat(hdr, degrade(pcm, fmt, out))));
+               (ps + 1, ss))
+            end
+        end
+      handle _ =>
+        -- malformed frame: forward untouched rather than lose it
+        (OnRemote(network, p); (ps, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def audio_client_asp(*, audio_port: int = AUDIO_PORT) -> str:
+    """The client restoration program (28-line class of Figure 3).
+
+    Runs on the audio client host; transforms degraded frames back to
+    16-bit stereo before delivery so the application needs no change.
+    """
+    return f"""\
+-- Audio broadcasting: format restoration at the client (paper 3.1).
+
+val audioPort : int = {audio_port}
+
+fun restore(pcm : blob, fmt : int) : blob =
+  if fmt = 2 then audioMonoToStereo(audio8to16(pcm))
+  else if fmt = 1 then audioMonoToStereo(pcm)
+  else pcm
+
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val udp : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpDst(udp) = audioPort then
+      try
+        let
+          val fmt : int = blobByte(body, 0)
+          val hdr : blob = blobWithByte(blobSub(body, 0, 5), 0, 0)
+          val pcm : blob = blobSub(body, 5, blobLen(body) - 5)
+        in
+          (deliver((#1 p, udp, blobCat(hdr, restore(pcm, fmt))));
+           (ps + 1, ss))
+        end
+      handle _ =>
+        (deliver(p); (ps, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""

@@ -1,0 +1,110 @@
+"""Data-filtering, string-matching and compression ASPs (paper §1).
+
+The introduction's list of ASP operations — "(un-)compression, data
+filtering, string matching" — as three deployable programs:
+
+* :func:`link_compressor_asp` / :func:`link_decompressor_asp` — a
+  transparent compression tunnel for one UDP port across a slow link;
+* :func:`content_filter_asp` — string matching over HTTP requests,
+  redirecting matches to a policy server (passes all four analyses:
+  filtered traffic is *redirected*, never silently dropped);
+* :func:`firewall_asp` — a port blocklist that genuinely drops packets,
+  and therefore **cannot pass the delivery analysis**: deploying it
+  requires the authenticated-privileged path (``verify=False``), the
+  paper's own escape hatch for legitimate-but-unprovable protocols.
+"""
+
+from __future__ import annotations
+
+
+def link_compressor_asp(*, app_port: int, min_bytes: int = 96) -> str:
+    """Compress large UDP payloads for one application port."""
+    return f"""\
+-- Link compression, sending side (paper section 1's "(un-)compression").
+
+val appPort : int = {app_port}
+val minBytes : int = {min_bytes}
+
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val body : blob = #3 p
+  in
+    if udpDst(#2 p) = appPort andalso blobLen(body) > minBytes
+       andalso not blobIsCompressed(body) then
+      (OnRemote(network, (#1 p, #2 p, blobCompress(body)));
+       (ps + 1, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def link_decompressor_asp(*, app_port: int) -> str:
+    """Restore compressed payloads on the receiving side."""
+    return f"""\
+-- Link compression, receiving side.
+
+val appPort : int = {app_port}
+
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val body : blob = #3 p
+  in
+    if udpDst(#2 p) = appPort andalso blobIsCompressed(body) then
+      try
+        (OnRemote(network, (#1 p, #2 p, blobDecompress(body)));
+         (ps + 1, ss))
+      handle _ =>
+        (OnRemote(network, p); (ps, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def content_filter_asp(pattern: str, policy_server: str, *,
+                       http_port: int = 80) -> str:
+    """Redirect HTTP requests whose payload contains ``pattern`` to a
+    policy server (string matching without dropping)."""
+    escaped = pattern.replace("\\", "\\\\").replace('"', '\\"')
+    return f"""\
+-- Content filter: string matching over requests (paper section 1).
+
+val httpPort : int = {http_port}
+val policyServer : host = {policy_server}
+
+channel network(ps : int, ss : unit, p : ip*tcp*blob) is
+  let
+    val body : blob = #3 p
+  in
+    if tcpDst(#2 p) = httpPort
+       andalso blobIndex(body, "{escaped}") >= 0 then
+      -- matched: steer the whole connection to the policy server
+      (OnRemote(network, (ipDestSet(#1 p, policyServer), #2 p, body));
+       (ps + 1, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def firewall_asp(blocked_ports: list[int]) -> str:
+    """Drop inbound traffic to the blocked TCP ports.
+
+    Intentionally fails the delivery analysis (it drops packets); the
+    run-time accepts it only via privileged deployment.
+    """
+    if not blocked_ports:
+        raise ValueError("need at least one blocked port")
+    condition = " orelse ".join(f"tcpDst(#2 p) = {port}"
+                                for port in blocked_ports)
+    return f"""\
+-- A port-blocklist firewall (requires privileged deployment: the
+-- delivery analysis rightly refuses programs that drop packets).
+
+channel network(ps : int, ss : unit, p : ip*tcp*blob) is
+  if {condition} then
+    (drop(p); (ps + 1, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+"""

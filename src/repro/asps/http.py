@@ -1,0 +1,119 @@
+"""The load-balancing HTTP gateway ASP of paper §3.2 (figure 2).
+
+The gateway owns the *virtual server* address.  Incoming requests are
+bound to a physical server when the TCP connection opens (SYN) and the
+binding is recorded in a hash table so every later packet of the
+connection reaches the same server; responses get their source rewritten
+back to the virtual address.  The balancing strategy is the paper's
+"modulo on the number of requests", selectable among several strategies
+to support the strategy-evaluation claim.
+"""
+
+from __future__ import annotations
+
+HTTP_PORT = 80
+
+#: Strategies the gateway template can emit (paper §3.2 / §5: "several
+#: load-balancing algorithms").  Each is an expression over the protocol
+#: state ``ps`` (a request counter) and the request's TCP source port.
+STRATEGIES = {
+    # The paper's strategy: alternate per accepted connection.
+    "modulo": "ps mod {n}",
+    # Hash the client's ephemeral port: stateless, sticky per client port.
+    "srchash": "tcpSrc(tcp) mod {n}",
+    # Pseudo-random spread.
+    "random": "random({n})",
+}
+
+
+def http_gateway_asp(virtual: str, servers: list[str], *,
+                     http_port: int = HTTP_PORT,
+                     strategy: str = "modulo",
+                     table_size: int = 4096) -> str:
+    """Generate the gateway program for a cluster.
+
+    ``virtual`` and ``servers`` are dotted-quad addresses; re-generating
+    with a different server list is how "the ASP can be easily changed so
+    as to permit the addition/removal of a physical server".
+    """
+    if len(servers) < 1:
+        raise ValueError("need at least one physical server")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"pick from {sorted(STRATEGIES)}")
+    n = len(servers)
+    pick = STRATEGIES[strategy].format(n=n)
+
+    server_vals = "\n".join(
+        f"val server{i} : host = {addr}" for i, addr in enumerate(servers))
+
+    # A chain of if/else mapping the chosen index to a rewritten forward.
+    forward = _forward_chain(n)
+    response_guard = " orelse ".join(
+        f"ipSrc(iph) = server{i}" for i in range(n))
+
+    return f"""\
+-- Extensible HTTP server with load balancing (paper 3.2, figure 2).
+-- Strategy: {strategy}
+
+val virtualServer : host = {virtual}
+{server_vals}
+val httpPort : int = {http_port}
+
+fun pickServer(ps : int, tcp : tcp) : int = {pick}
+
+channel network(ps : int, ss : (int) hash_table, p : ip*tcp*blob)
+initstate mkTable({table_size}) is
+  let
+    val iph : ip = #1 p
+    val tcp : tcp = #2 p
+    val body : blob = #3 p
+  in
+    if tcpDst(tcp) = httpPort andalso ipDst(iph) = virtualServer then
+      -- incoming HTTP traffic for the virtual server
+      let
+        val key : host*int = (ipSrc(iph), tcpSrc(tcp))
+        val bound : int = tableGetDefault(ss, key, -1)
+      in
+        if bound = -1 then
+          -- new connection: bind it to a physical server (and keep the
+          -- binding even if the SYN is retransmitted)
+          let
+            val con : int = pickServer(ps, tcp)
+          in
+            (tableSet(ss, key, con);
+             {forward};
+             (ps + 1, ss))
+          end
+        else
+          let
+            val con : int = bound
+          in
+            ({forward};
+             (ps, ss))
+          end
+      end
+    else
+      if tcpSrc(tcp) = httpPort andalso ({response_guard}) then
+        -- server -> client: restore the virtual source address
+        (OnRemote(network, (ipSrcSet(iph, virtualServer), tcp, body));
+         (ps, ss))
+      else
+        (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def _forward_chain(n: int) -> str:
+    """``if con = 0 then ... else if ... else OnRemote(server_{n-1})``."""
+    if n == 1:
+        return ("OnRemote(network, (ipDestSet(iph, server0), tcp, body))")
+    parts: list[str] = []
+    for i in range(n - 1):
+        parts.append(f"if con = {i} then\n"
+                     f"             OnRemote(network, "
+                     f"(ipDestSet(iph, server{i}), tcp, body))\n"
+                     f"           else ")
+    parts.append(f"OnRemote(network, (ipDestSet(iph, server{n - 1}), "
+                 f"tcp, body))")
+    return "".join(parts)

@@ -1,0 +1,52 @@
+"""The image-distillation ASP (paper §5, implemented future work).
+
+Runs on the router where a fast network meets a slow access link.
+Image responses heading down a link below ``slow_kbps`` are distilled —
+repeatedly downscaled until they fit ``budget_bytes`` — so the fetch
+completes in a fraction of the time at reduced fidelity.  Everything
+else passes through untouched.
+"""
+
+from __future__ import annotations
+
+IMAGE_PORT = 8800
+
+
+def image_distiller_asp(*, image_port: int = IMAGE_PORT,
+                        slow_kbps: int = 500,
+                        budget_bytes: int = 3000,
+                        quantize_bits: int = 0) -> str:
+    """Generate the distiller.  ``quantize_bits`` > 0 additionally
+    reduces the bit depth before size distillation (a second policy to
+    experiment with, in the spirit of §3.1's strategy shopping)."""
+    if quantize_bits:
+        prepare = f"imgQuantize(body, {quantize_bits})"
+    else:
+        prepare = "body"
+    return f"""\
+-- Image distillation over low-bandwidth links (paper section 5).
+
+val imgPort : int = {image_port}
+val slowKbps : int = {slow_kbps}
+val budget : int = {budget_bytes}
+
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udp : udp = #2 p
+    val body : blob = #3 p
+  in
+    if udpSrc(udp) = imgPort andalso imgIs(body) then
+      -- an image response: distill if it is about to cross a slow link
+      if linkBandwidth(ipDst(iph)) < slowKbps then
+        try
+          (OnRemote(network, (iph, udp, imgDistill({prepare}, budget)));
+           (ps + 1, ss))
+        handle _ =>
+          (OnRemote(network, p); (ps, ss))
+      else
+        (OnRemote(network, p); (ps, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""

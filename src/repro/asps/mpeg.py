@@ -1,0 +1,169 @@
+"""The MPEG multipoint ASPs of paper §3.3.
+
+Control plane of the (unmodified) point-to-point video server:
+
+* client → server, TCP port ``MPEG_CTRL_PORT``: ``PLAY <file> <port>\\n``
+* server → client, same connection: ``SETUP <file> <params...>\\n``,
+  then the server streams video frames over UDP to the client's port.
+
+The **monitor ASP** runs promiscuously on one machine of the segment.
+It watches the control connections, recording per file who is receiving
+the stream and the setup line needed to decode it.  Clients query it
+over UDP (``QRY <file>`` to ``MONITOR_QUERY_PORT``); it answers to the
+fixed client reply port with ``HIT <addr> <port> <setup>`` or ``MISS``.
+
+The **capture ASP** runs promiscuously on each client.  The client
+application registers interest in an existing stream by sending itself a
+config datagram (``CAPTURE_CONFIG_PORT``, payload = target address +
+port); afterwards the ASP picks the neighbour's video packets off the
+segment and delivers them up the local stack.
+
+The server is never modified, and the client modification is limited to
+the extra query — exactly the paper's trade-off (§3.3 discusses why full
+transparency would require TCP emulation in PLAN-P).
+"""
+
+from __future__ import annotations
+
+MPEG_CTRL_PORT = 8000
+MONITOR_QUERY_PORT = 9700
+MONITOR_REPLY_PORT = 9800
+CAPTURE_CONFIG_PORT = 9801
+
+
+def mpeg_monitor_asp(*, ctrl_port: int = MPEG_CTRL_PORT,
+                     query_port: int = MONITOR_QUERY_PORT,
+                     reply_port: int = MONITOR_REPLY_PORT,
+                     table_size: int = 256) -> str:
+    """The connection-monitor program (161-line class of Figure 3).
+
+    Protocol state is a single string table with prefixed keys:
+    ``R:<file>`` → "<addr> <port>" (who receives the stream) and
+    ``S:<file>`` → the recorded setup line.
+    """
+    return f"""\
+-- Point-to-point to multipoint MPEG: the monitor ASP (paper 3.3).
+-- Watches control connections to the video server and answers client
+-- queries about streams that are already flowing on the segment.
+
+val ctrlPort : int = {ctrl_port}
+val qryPort : int = {query_port}
+val replyPort : int = {reply_port}
+
+-- Record an outgoing request: "PLAY <file> <port>" from a client.
+-- The port is the line's last field, so split off the trailing newline.
+fun recordPlay(ps : (string) hash_table, src : host, s : string) : unit =
+  try
+    let
+      val file : string = strField(s, 1, " ")
+      val port : string = strField(strField(s, 2, " "), 0, "\\n")
+    in
+      tableSet(ps, "R:" ^ file, hostToString(src) ^ " " ^ port)
+    end
+  handle _ => ()
+
+-- Record the server's reply: "SETUP <file> <params...>".
+fun recordSetup(ps : (string) hash_table, s : string) : unit =
+  try
+    let
+      val file : string = strField(s, 1, " ")
+    in
+      tableSet(ps, "S:" ^ file, s)
+    end
+  handle _ => ()
+
+fun answer(ps : (string) hash_table, file : string) : string =
+  try
+    if tableMem(ps, "R:" ^ file) andalso tableMem(ps, "S:" ^ file) then
+      "HIT " ^ tableGet(ps, "R:" ^ file) ^ "\\n"
+        ^ tableGet(ps, "S:" ^ file)
+    else
+      "MISS " ^ file
+  handle _ => "MISS " ^ file
+
+-- Channel 1: observe the TCP control traffic in passing.
+channel network(ps : (string) hash_table, ss : unit, p : ip*tcp*string) is
+  let
+    val iph : ip = #1 p
+    val tcp : tcp = #2 p
+    val s : string = #3 p
+  in
+    (if tcpDst(tcp) = ctrlPort andalso strIndex(s, "PLAY ") = 0 then
+       recordPlay(ps, ipSrc(iph), s)
+     else if tcpSrc(tcp) = ctrlPort andalso strIndex(s, "SETUP ") = 0 then
+       recordSetup(ps, s)
+     else
+       ();
+     -- Pure observation: the packet continues on its way.
+     OnRemote(network, p);
+     (ps, ss))
+  end
+
+-- Channel 2: answer stream queries from clients.
+channel network(ps : (string) hash_table, ss : int, p : ip*udp*string) is
+  let
+    val iph : ip = #1 p
+    val udp : udp = #2 p
+    val s : string = #3 p
+  in
+    if udpDst(udp) = qryPort andalso strIndex(s, "QRY ") = 0 then
+      try
+        let
+          val file : string = strField(s, 1, " ")
+          val reply : string = answer(ps, file)
+        in
+          (OnRemote(network,
+                    (ipMk(thisHost(), ipSrc(iph)),
+                     udpMk(qryPort, replyPort),
+                     reply));
+           (ps, ss + 1))
+        end
+      handle _ =>
+        (OnRemote(network, p); (ps, ss))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""
+
+
+def mpeg_client_asp(*, config_port: int = CAPTURE_CONFIG_PORT,
+                    table_size: int = 64) -> str:
+    """The client capture program (53-line class of Figure 3)."""
+    return f"""\
+-- Point-to-point to multipoint MPEG: the capture ASP (paper 3.3).
+-- After the application registers (addr, port) of an existing stream,
+-- video packets addressed to that neighbour are delivered locally too.
+
+val configPort : int = {config_port}
+
+fun captureKey(addr : host, port : int) : string =
+  hostToString(addr) ^ ":" ^ intToString(port)
+
+-- Channel 1: capture registrations from the local application
+-- (payload = target address + target port).
+channel network(ps : (string) hash_table, ss : int,
+                p : ip*udp*host*int) is
+  let
+    val udp : udp = #2 p
+  in
+    if udpDst(udp) = configPort then
+      (tableSet(ps, captureKey(#3 p, #4 p), "on");
+       deliver(p);
+       (ps, ss + 1))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+
+-- Channel 2: the video path.
+channel network(ps : (string) hash_table, ss : int, p : ip*udp*blob) is
+  let
+    val iph : ip = #1 p
+    val udp : udp = #2 p
+  in
+    if tableMem(ps, captureKey(ipDst(iph), udpDst(udp))) then
+      -- a neighbour's stream we subscribed to: deliver a copy locally
+      (deliver(p); (ps, ss + 1))
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"""

@@ -1,0 +1,15 @@
+"""Experiment harness helpers shared by benchmarks and examples."""
+
+from .fig3 import Fig3Row, fig3_codegen_table, format_fig3_table
+from .microbench import (BRIDGE_ASP, MicrobenchResult, make_bridge_packets,
+                         run_engine_microbench)
+
+__all__ = [
+    "BRIDGE_ASP",
+    "Fig3Row",
+    "MicrobenchResult",
+    "fig3_codegen_table",
+    "format_fig3_table",
+    "make_bridge_packets",
+    "run_engine_microbench",
+]

@@ -1,0 +1,183 @@
+"""One-command regeneration of the EXPERIMENTS.md measurements.
+
+    python -m repro.experiments.report            # full scale
+    python -m repro.experiments.report --quick    # smoke scale
+
+Runs every reproduced experiment and emits the paper-vs-measured tables
+as markdown on stdout.  The benchmark suite asserts the same shapes;
+this module is for humans refreshing the documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+
+@dataclass
+class Scale:
+    audio_duration: float
+    gap_duration: float
+    http_duration: float
+    http_clients: int
+    mpeg_duration: float
+    microbench_packets: int
+
+
+FULL = Scale(audio_duration=45.0, gap_duration=25.0, http_duration=12.0,
+             http_clients=8, mpeg_duration=15.0,
+             microbench_packets=20_000)
+QUICK = Scale(audio_duration=18.0, gap_duration=8.0, http_duration=6.0,
+              http_clients=4, mpeg_duration=8.0,
+              microbench_packets=2_000)
+
+
+def md_table(headers: list[str], rows: list[list[object]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def section_fig3() -> str:
+    from .fig3 import fig3_codegen_table
+
+    rows = [[r.name, r.paper_lines, r.lines,
+             f"{r.paper_codegen_ms:.1f}",
+             f"{r.codegen_ms['closure']:.2f}",
+             f"{r.codegen_ms['source']:.2f}"]
+            for r in fig3_codegen_table(repeats=5)]
+    return ("## Figure 3 — code generation time\n\n"
+            + md_table(["program", "paper lines", "our lines",
+                        "paper ms", "closure ms", "source ms"], rows))
+
+
+def section_fig6(scale: Scale) -> str:
+    from ..apps.audio import run_audio_experiment
+    from ..apps.audio.codec import FORMAT_NAMES
+
+    result = run_audio_experiment(duration=scale.audio_duration)
+    d = scale.audio_duration
+    windows = [("no load", 0.02 * d, 0.2 * d, "176"),
+               ("large load", 0.27 * d, 0.47 * d, "44"),
+               ("medium load", 0.53 * d, 0.73 * d, "44..88 (osc)"),
+               ("small load", 0.8 * d, 0.98 * d, "88")]
+    rows = []
+    for name, a, b, paper in windows:
+        rows.append([name, paper,
+                     f"{result.mean_kbps_between(a, b):.1f}",
+                     FORMAT_NAMES[result.dominant_quality_between(a, b)]])
+    return (f"## Figure 6 — audio adaptation "
+            f"(scaled to {d:.0f} s)\n\n"
+            + md_table(["phase", "paper kbit/s", "measured kbit/s",
+                        "dominant quality"], rows))
+
+
+def section_fig7(scale: Scale) -> str:
+    from ..apps.audio import run_gap_sweep
+
+    loads = [800_000, 1_500_000, 1_900_000]
+    sweep = run_gap_sweep(loads, duration=scale.gap_duration)
+    rows = [[f"{load / 1e6:.1f} Mbit/s",
+             sweep[load]["without_adaptation"],
+             sweep[load]["with_adaptation"],
+             sweep[load]["without_frames"],
+             sweep[load]["with_frames"]] for load in loads]
+    return ("## Figure 7 — silent periods\n\n"
+            + md_table(["offered load", "gaps (no ASP)", "gaps (ASP)",
+                        "frames (no ASP)", "frames (ASP)"], rows))
+
+
+def section_fig8(scale: Scale) -> str:
+    from ..apps.http import generate_trace, run_http_experiment
+
+    trace = generate_trace(4000, seed=11)
+    results = {mode: run_http_experiment(
+        mode, scale.http_clients, duration=scale.http_duration,
+        warmup=scale.http_duration / 4, trace=trace)
+        for mode in ("single", "asp", "builtin", "disjoint")}
+    rows = [[mode, f"{r.throughput_rps:.1f}",
+             f"{r.mean_latency_s * 1000:.1f}",
+             f"{r.balance_ratio:.2f}"]
+            for mode, r in results.items()]
+    asp = results["asp"].throughput_rps
+    footer = (f"\nASP/single = "
+              f"{asp / results['single'].throughput_rps:.2f} "
+              f"(paper 1.75); ASP/disjoint = "
+              f"{asp / results['disjoint'].throughput_rps:.2f} "
+              f"(paper ~0.85); ASP/builtin = "
+              f"{asp / results['builtin'].throughput_rps:.2f} "
+              f"(paper: no difference)")
+    return ("## Figure 8 — HTTP cluster throughput\n\n"
+            + md_table(["configuration", "req/s", "latency ms",
+                        "balance"], rows) + footer)
+
+
+def section_mpeg(scale: Scale) -> str:
+    from ..apps.mpeg import run_mpeg_experiment
+
+    with_asps = run_mpeg_experiment(use_asps=True, n_clients=3,
+                                    duration=scale.mpeg_duration)
+    without = run_mpeg_experiment(use_asps=False, n_clients=3,
+                                  duration=scale.mpeg_duration)
+    rows = []
+    for r in (without, with_asps):
+        rows.append(["ASPs" if r.use_asps else "plain",
+                     r.server_sessions,
+                     f"{r.uplink_bytes / 1e6:.2f} MB",
+                     ", ".join(f"{x:.1f}" for x in r.per_client_rate)])
+    return ("## Section 3.3 — MPEG multipoint (3 viewers)\n\n"
+            + md_table(["config", "server sessions", "uplink",
+                        "client fps"], rows))
+
+
+def section_microbench(scale: Scale) -> str:
+    from .microbench import run_engine_microbench
+
+    results = {name: run_engine_microbench(
+        name, n_packets=scale.microbench_packets)
+        for name in ("interpreter", "closure", "source", "builtin")}
+    builtin = results["builtin"].us_per_packet
+    rows = [[name, f"{r.us_per_packet:.2f}",
+             f"{r.us_per_packet / builtin:.2f}x"]
+            for name, r in results.items()]
+    return ("## Section 2.4 — engine microbenchmark\n\n"
+            + md_table(["engine", "us/packet", "vs builtin"], rows))
+
+
+SECTIONS = {
+    "fig3": lambda scale: section_fig3(),
+    "fig6": section_fig6,
+    "fig7": section_fig7,
+    "fig8": section_fig8,
+    "mpeg": section_mpeg,
+    "microbench": section_microbench,
+}
+
+
+def generate(scale: Scale, only: list[str] | None = None) -> str:
+    parts = ["# Reproduced results (generated by "
+             "`python -m repro.experiments.report`)"]
+    for name, fn in SECTIONS.items():
+        if only and name not in only:
+            continue
+        parts.append(fn(scale))
+    return "\n\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments.report")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-scale smoke run")
+    parser.add_argument("--only", nargs="*", choices=sorted(SECTIONS),
+                        help="limit to specific sections")
+    args = parser.parse_args(argv)
+    scale = QUICK if args.quick else FULL
+    sys.stdout.write(generate(scale, only=args.only))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

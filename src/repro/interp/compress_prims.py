@@ -1,0 +1,46 @@
+"""Compression primitives (paper §1: ASPs "perform various operations
+on packets (e.g., (un-)compression, data filtering, string matching)").
+
+DEFLATE via the standard library; level is fixed so the interpreter and
+both JITs are bit-identical.  ``blobDecompress`` raises ``BadPacket`` on
+garbage, so filters must guard with ``try``/``handle`` — which the
+delivery analysis then insists is handled.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..lang import types as T
+from ..lang.errors import PlanPRuntimeError
+from .context import ExecutionContext
+from .primitives import register, sig
+
+#: Deterministic compression level.
+LEVEL = 6
+
+
+def _impl_compress(ctx: ExecutionContext, a: list[object]) -> object:
+    return zlib.compress(a[0], LEVEL)  # type: ignore[arg-type]
+
+
+def _impl_decompress(ctx: ExecutionContext, a: list[object]) -> object:
+    try:
+        return zlib.decompress(a[0])  # type: ignore[arg-type]
+    except zlib.error:
+        raise PlanPRuntimeError("not a DEFLATE stream",
+                                exception_name="BadPacket")
+
+
+def _impl_is_compressed(ctx: ExecutionContext, a: list[object]) -> object:
+    blob = a[0]
+    # zlib header: 0x78 CMF with a valid FCHECK byte.
+    if not isinstance(blob, bytes) or len(blob) < 2 or blob[0] != 0x78:
+        return False
+    return ((blob[0] << 8) | blob[1]) % 31 == 0
+
+
+register("blobCompress", sig([T.BLOB], T.BLOB), _impl_compress)
+register("blobDecompress", sig([T.BLOB], T.BLOB), _impl_decompress,
+         may_raise=("BadPacket",))
+register("blobIsCompressed", sig([T.BLOB], T.BOOL), _impl_is_compressed)

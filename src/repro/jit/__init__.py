@@ -1,0 +1,26 @@
+"""JIT compilation for PLAN-P, generated from the interpreter.
+
+Two backends reproduce the paper's Tempo-generated JIT:
+
+* :class:`repro.jit.specializer.ClosureEngine` — closure specialization
+  (the first Futamura projection, staged by hand);
+* :class:`repro.jit.codegen.CompiledSourceEngine` — Python source
+  emission compiled with ``compile()`` (the machine-code-template
+  analogue).
+"""
+
+from .codegen import CompiledSourceEngine
+from .pipeline import (BACKENDS, Engine, LoadedProgram, count_source_lines,
+                       load_program, make_engine)
+from .specializer import ClosureEngine
+
+__all__ = [
+    "BACKENDS",
+    "ClosureEngine",
+    "CompiledSourceEngine",
+    "Engine",
+    "LoadedProgram",
+    "count_source_lines",
+    "load_program",
+    "make_engine",
+]

@@ -1,0 +1,35 @@
+"""The PLAN-P language front end: lexer, parser, types, type checker.
+
+Typical use::
+
+    from repro.lang import parse, typecheck
+    program = parse(source_text)
+    info = typecheck(program)      # annotates the AST in place
+"""
+
+from .errors import (LexError, ParseError, PlanPError, PlanPRuntimeError,
+                     SourcePos, TypeCheckError, VerificationError)
+from .lexer import tokenize
+from .parser import parse, parse_expr
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "PlanPError",
+    "PlanPRuntimeError",
+    "SourcePos",
+    "TypeCheckError",
+    "VerificationError",
+    "tokenize",
+    "parse",
+    "parse_expr",
+    "typecheck",
+]
+
+
+def typecheck(program):
+    """Type check a parsed program (lazy import to avoid a cycle with the
+    primitive registry, which lives in :mod:`repro.interp`)."""
+    from .typechecker import typecheck as _typecheck
+
+    return _typecheck(program)

@@ -1,0 +1,122 @@
+"""Pretty-printer for PLAN-P ASTs.
+
+``unparse(parse(src))`` produces text that re-parses to an equal AST —
+the round-trip property the test suite checks with hypothesis.  Output is
+fully parenthesised, so no precedence reasoning is needed here.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from . import types as T
+
+_STRING_ESCAPES = {
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    '"': '\\"',
+    "\\": "\\\\",
+    "\0": "\\0",
+}
+
+
+def _escape(text: str) -> str:
+    return "".join(_STRING_ESCAPES.get(ch, ch) for ch in text)
+
+
+def unparse_type(ty: T.Type) -> str:
+    """Render a type in surface syntax."""
+    if isinstance(ty, T.TupleType):
+        parts = []
+        for e in ty.elems:
+            text = unparse_type(e)
+            if isinstance(e, (T.TupleType, T.HashTableType, T.ListType)):
+                text = f"({text})"
+            parts.append(text)
+        return "*".join(parts)
+    if isinstance(ty, T.HashTableType):
+        return f"({unparse_type(ty.value)}) hash_table"
+    if isinstance(ty, T.ListType):
+        return f"({unparse_type(ty.elem)}) list"
+    return str(ty)
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render an expression, fully parenthesised."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLit):
+        return f'"{_escape(expr.value)}"'
+    if isinstance(expr, ast.CharLit):
+        return f'#"{_escape(expr.value)}"'
+    if isinstance(expr, ast.UnitLit):
+        return "()"
+    if isinstance(expr, ast.HostLit):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.BinOp):
+        return (f"({unparse_expr(expr.left)} {expr.op} "
+                f"{unparse_expr(expr.right)})")
+    if isinstance(expr, ast.UnOp):
+        if expr.op == "not":
+            return f"(not {unparse_expr(expr.operand)})"
+        return f"(- {unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.If):
+        return (f"(if {unparse_expr(expr.cond)} then "
+                f"{unparse_expr(expr.then)} else "
+                f"{unparse_expr(expr.orelse)})")
+    if isinstance(expr, ast.Let):
+        bindings = " ".join(
+            f"val {b.name} : {unparse_type(b.declared)} = "
+            f"{unparse_expr(b.value)}"
+            for b in expr.bindings)
+        return f"(let {bindings} in {unparse_expr(expr.body)} end)"
+    if isinstance(expr, ast.Seq):
+        return "(" + "; ".join(unparse_expr(e) for e in expr.exprs) + ")"
+    if isinstance(expr, ast.TupleExpr):
+        return "(" + ", ".join(unparse_expr(e) for e in expr.elems) + ")"
+    if isinstance(expr, ast.Proj):
+        return f"#{expr.index} {unparse_expr(expr.tuple_expr)}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.Try):
+        return (f"(try {unparse_expr(expr.body)} handle {expr.exn} => "
+                f"{unparse_expr(expr.handler)})")
+    if isinstance(expr, ast.Raise):
+        return f"(raise {expr.exn})"
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def _unparse_params(params: list[ast.Param]) -> str:
+    return ", ".join(f"{p.name} : {unparse_type(p.declared)}"
+                     for p in params)
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a whole program as re-parseable PLAN-P source."""
+    lines: list[str] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.ValDecl):
+            lines.append(f"val {decl.name} : {unparse_type(decl.declared)} "
+                         f"= {unparse_expr(decl.value)}")
+        elif isinstance(decl, ast.ExceptionDecl):
+            lines.append(f"exception {decl.name}")
+        elif isinstance(decl, ast.FunDecl):
+            lines.append(
+                f"fun {decl.name}({_unparse_params(decl.params)}) : "
+                f"{unparse_type(decl.return_type)} = "
+                f"{unparse_expr(decl.body)}")
+        elif isinstance(decl, ast.ChannelDecl):
+            init = ""
+            if decl.initstate is not None:
+                init = f" initstate {unparse_expr(decl.initstate)}"
+            lines.append(
+                f"channel {decl.name}({_unparse_params(decl.params)})"
+                f"{init} is {unparse_expr(decl.body)}")
+        else:
+            raise TypeError(f"cannot unparse {type(decl).__name__}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,179 @@
+"""Transmission media: point-to-point links and shared segments.
+
+Both media model store-and-forward transmission with a finite drop-tail
+queue: a packet occupies the medium for its serialization delay
+(size × 8 / bandwidth), then arrives after the propagation latency.
+Random loss can be injected for failure tests.
+
+``Segment`` models the shared Ethernet of the paper's figure 5: one
+transmission queue (the medium is half-duplex) and broadcast delivery to
+every other attached interface — which is what lets the load generator's
+traffic crowd out the audio stream, and the MPEG capture ASP observe a
+neighbour's video packets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .monitor import LinkStats, LoadMonitor
+from .packet import Packet
+from .sim import Simulator
+
+if TYPE_CHECKING:
+    from .node import Interface
+
+
+class _TxQueue:
+    """One transmission direction: serializer + bounded FIFO."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 latency: float, queue_limit: int,
+                 deliver: Callable[[Packet, "Interface"], None],
+                 loss_rate: float = 0.0):
+        self._sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.queue_limit = queue_limit
+        self.loss_rate = loss_rate
+        self._deliver = deliver
+        self._queue: list[tuple[Packet, "Interface"]] = []
+        self._busy = False
+        self.stats = LinkStats()
+        self.monitor = LoadMonitor()
+
+    def send(self, packet: Packet, sender: "Interface") -> None:
+        if len(self._queue) >= self.queue_limit:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return
+        self._queue.append((packet, sender))
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet, sender = self._queue.pop(0)
+        tx_delay = packet.size * 8 / self.bandwidth_bps
+        self.monitor.record(self._sim.now, packet.size)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size
+
+        def done() -> None:
+            # Random loss models a noisy medium; it happens after the
+            # medium was occupied (collisions still consume airtime).
+            if (self.loss_rate > 0.0
+                    and self._sim.rng.random() < self.loss_rate):
+                self.stats.packets_lost += 1
+                self.stats.bytes_lost += packet.size
+            else:
+                self._sim.schedule(
+                    self.latency,
+                    lambda: self._deliver(packet, sender))
+            self._transmit_next()
+
+        self._sim.schedule(tx_delay, done)
+
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def load_kbps(self) -> int:
+        return self.monitor.rate_kbps(self._sim.now)
+
+
+class Link:
+    """A full-duplex point-to-point link between exactly two interfaces."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 10_000_000,
+                 latency: float = 0.0005, queue_limit: int = 64,
+                 loss_rate: float = 0.0, name: str = ""):
+        self._sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self._ifaces: list["Interface"] = []
+        self._tx: dict[int, _TxQueue] = {}
+        self._config = (bandwidth_bps, latency, queue_limit, loss_rate)
+
+    def attach(self, iface: "Interface") -> None:
+        if len(self._ifaces) >= 2:
+            raise RuntimeError(f"link {self.name!r} already has two ends")
+        self._ifaces.append(iface)
+        bandwidth, latency, queue_limit, loss = self._config
+        self._tx[id(iface)] = _TxQueue(
+            self._sim, bandwidth, latency, queue_limit,
+            self._deliver_from(iface), loss)
+
+    def _deliver_from(self, sender: "Interface"):
+        def deliver(packet: Packet, _sender: "Interface") -> None:
+            for iface in self._ifaces:
+                if iface is not sender:
+                    iface.receive(packet)
+
+        return deliver
+
+    def transmit(self, packet: Packet, sender: "Interface") -> None:
+        self._tx[id(sender)].send(packet, sender)
+
+    def other_end(self, iface: "Interface") -> "Interface":
+        for other in self._ifaces:
+            if other is not iface:
+                return other
+        raise RuntimeError("link has no other end attached")
+
+    def tx_queue(self, sender: "Interface") -> _TxQueue:
+        return self._tx[id(sender)]
+
+    @property
+    def interfaces(self) -> list["Interface"]:
+        return list(self._ifaces)
+
+
+class Segment:
+    """A shared broadcast segment (the experiments' '10 Mbit Ethernet').
+
+    Half-duplex: all transmissions serialize through one queue, so any
+    attached station's traffic consumes the segment's capacity.  Every
+    other attached interface receives each packet (receivers filter by
+    address; ASPs may listen promiscuously).
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 10_000_000,
+                 latency: float = 0.0002, queue_limit: int = 128,
+                 loss_rate: float = 0.0, name: str = ""):
+        self._sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self._ifaces: list["Interface"] = []
+        self._tx = _TxQueue(sim, bandwidth_bps, latency, queue_limit,
+                            self._broadcast, loss_rate)
+
+    def attach(self, iface: "Interface") -> None:
+        self._ifaces.append(iface)
+
+    def transmit(self, packet: Packet, sender: "Interface") -> None:
+        self._tx.send(packet, sender)
+
+    def _broadcast(self, packet: Packet, sender: "Interface") -> None:
+        for iface in self._ifaces:
+            if iface is not sender:
+                iface.receive(packet)
+
+    def tx_queue(self, sender: "Interface") -> _TxQueue:
+        return self._tx
+
+    @property
+    def stats(self) -> LinkStats:
+        return self._tx.stats
+
+    def load_kbps(self) -> int:
+        return self._tx.load_kbps()
+
+    @property
+    def interfaces(self) -> list["Interface"]:
+        return list(self._ifaces)
+
+
+Medium = Link | Segment

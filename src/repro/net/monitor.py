@@ -1,0 +1,84 @@
+"""Link-load measurement.
+
+The audio-broadcast router ASP of paper §3.1 reads the measured traffic
+on its outgoing link and degrades quality when it approaches capacity.
+"Measurements are performed locally on the router", which is what makes
+the adaptation immediate compared to end-to-end feedback.
+
+:class:`LoadMonitor` implements the measurement: a sliding window of
+transmitted-byte buckets, queried as a kbit/s rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class LoadMonitor:
+    """Sliding-window throughput estimator.
+
+    ``window`` is the averaging horizon in seconds; shorter windows adapt
+    faster but jitter more — the trade-off the audio experiment's
+    hysteresis policy tames.
+    """
+
+    def __init__(self, window: float = 1.0, bucket: float = 0.1):
+        if window <= 0 or bucket <= 0 or bucket > window:
+            raise ValueError("need 0 < bucket <= window")
+        self.window = window
+        self.bucket = bucket
+        self._buckets: deque[tuple[float, int]] = deque()
+        self.total_bytes = 0
+        self.total_packets = 0
+
+    def record(self, now: float, nbytes: int) -> None:
+        """Account ``nbytes`` transmitted at time ``now``."""
+        self.total_bytes += nbytes
+        self.total_packets += 1
+        slot = int(now / self.bucket)
+        if self._buckets and self._buckets[-1][0] == slot:
+            self._buckets[-1] = (slot, self._buckets[-1][1] + nbytes)
+        else:
+            self._buckets.append((slot, nbytes))
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = int((now - self.window) / self.bucket)
+        while self._buckets and self._buckets[0][0] < horizon:
+            self._buckets.popleft()
+
+    def bytes_in_window(self, now: float) -> int:
+        self._expire(now)
+        return sum(n for _slot, n in self._buckets)
+
+    def rate_kbps(self, now: float) -> int:
+        """Measured rate over the window, in kbit/s (rounded down)."""
+        return int(self.bytes_in_window(now) * 8 / self.window / 1000)
+
+    def rate_bps(self, now: float) -> float:
+        return self.bytes_in_window(now) * 8 / self.window
+
+
+@dataclass
+class LinkStats:
+    """Cumulative per-link counters, used by experiment reports.
+
+    ``packets_dropped`` counts queue (drop-tail) losses before
+    transmission; ``packets_lost`` counts medium losses after the
+    packet consumed airtime.  Offered = sent + dropped;
+    delivered = sent - lost.
+    """
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+    bytes_dropped: int = 0
+    packets_lost: int = 0
+    bytes_lost: int = 0
+
+    def drop_rate(self) -> float:
+        total = self.packets_sent + self.packets_dropped
+        if total == 0:
+            return 0.0
+        return self.packets_dropped / total

@@ -1,0 +1,74 @@
+"""IP multicast support: group management and tree construction.
+
+The audio-broadcast application sends to a class-D group address; the
+topology builder computes a shortest-path tree from the source to the
+joined receivers and installs per-node forwarding entries
+(``Node.multicast_routes``).  This models a pre-established multicast
+distribution tree (the paper's application uses IP multicast on a LAN).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .addresses import HostAddr
+from .node import Interface, Node
+
+
+class GroupManager:
+    """Builds multicast trees over a set of nodes."""
+
+    def __init__(self, nodes: list[Node]):
+        self._nodes = list(nodes)
+        self._graph = self._adjacency()
+
+    def _adjacency(self) -> nx.Graph:
+        graph = nx.Graph()
+        for node in self._nodes:
+            graph.add_node(node.name)
+        media: dict[int, list[Node]] = {}
+        for node in self._nodes:
+            for iface in node.interfaces:
+                media.setdefault(id(iface.medium), []).append(node)
+        for members in media.values():
+            members = sorted(set(members), key=lambda n: n.name)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    graph.add_edge(a.name, b.name)
+        return graph
+
+    def setup_group(self, group: HostAddr, source: Node,
+                    receivers: list[Node]) -> None:
+        """Join ``receivers`` to ``group`` and install the forwarding
+        tree from ``source``."""
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast address")
+        by_name = {node.name: node for node in self._nodes}
+        tree_edges: set[tuple[str, str]] = set()
+        for receiver in receivers:
+            receiver.join_group(group)
+            path = nx.shortest_path(self._graph, source.name,
+                                    receiver.name)
+            for a, b in zip(path, path[1:]):
+                tree_edges.add((a, b))
+
+        # Install, per node on the tree, the interfaces leading to its
+        # tree children.
+        for a, b in sorted(tree_edges):
+            node = by_name[a]
+            child = by_name[b]
+            iface = _iface_toward(node, child)
+            if iface is None:
+                raise RuntimeError(
+                    f"no interface from {a} toward {b} for group {group}")
+            routes = node.multicast_routes.setdefault(group, [])
+            if iface not in routes:
+                routes.append(iface)
+
+
+def _iface_toward(node: Node, neighbor: Node) -> Interface | None:
+    neighbor_media = {id(i.medium) for i in neighbor.interfaces}
+    for iface in node.interfaces:
+        if id(iface.medium) in neighbor_media:
+            return iface
+    return None

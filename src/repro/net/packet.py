@@ -1,0 +1,182 @@
+"""Packet model for the simulated network.
+
+The PLAN-P system "does not require any changes to existing packet
+formats" (paper §2): a packet is an ordinary IP datagram with an optional
+transport header.  Packets sent on *user-defined* PLAN-P channels carry a
+channel tag so the receiving PLAN-P layer can dispatch them; packets from
+existing applications are untagged and match ``network`` channels by type.
+
+Headers are immutable value objects; PLAN-P primitives such as
+``ipDestSet`` perform functional update and return new headers, which
+keeps the interpreter and the JIT referentially transparent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field, replace
+
+from .addresses import ANY_ADDR, HostAddr
+
+#: IP protocol numbers, as in the real stack.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_RAW = 255
+
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+#: Default initial time-to-live.
+DEFAULT_TTL = 64
+
+
+@dataclass(frozen=True)
+class IpHeader:
+    """An IPv4-style header (the PLAN-P ``ip`` value)."""
+
+    src: HostAddr = ANY_ADDR
+    dst: HostAddr = ANY_ADDR
+    ttl: int = DEFAULT_TTL
+    proto: int = PROTO_RAW
+    tos: int = 0
+
+    def with_dst(self, dst: HostAddr) -> "IpHeader":
+        return replace(self, dst=dst)
+
+    def with_src(self, src: HostAddr) -> "IpHeader":
+        return replace(self, src=src)
+
+    def with_ttl(self, ttl: int) -> "IpHeader":
+        return replace(self, ttl=ttl)
+
+    def decremented(self) -> "IpHeader":
+        """The header after one hop (ttl - 1)."""
+        return replace(self, ttl=self.ttl - 1)
+
+    def swapped(self) -> "IpHeader":
+        """Source and destination exchanged — used when building replies."""
+        return replace(self, src=self.dst, dst=self.src)
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """A TCP-style header (the PLAN-P ``tcp`` value)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    syn: bool = False
+    fin: bool = False
+    ack_flag: bool = False
+    rst: bool = False
+    window: int = 65535
+
+    def with_dst_port(self, port: int) -> "TcpHeader":
+        return replace(self, dst_port=port)
+
+    def with_src_port(self, port: int) -> "TcpHeader":
+        return replace(self, src_port=port)
+
+    def swapped(self) -> "TcpHeader":
+        return replace(self, src_port=self.dst_port, dst_port=self.src_port)
+
+    @property
+    def flags(self) -> int:
+        """Flags packed as in a real header: FIN|SYN|RST|ACK bit positions."""
+        return (int(self.fin) | (int(self.syn) << 1) | (int(self.rst) << 2)
+                | (int(self.ack_flag) << 4))
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """A UDP-style header (the PLAN-P ``udp`` value)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+
+    def with_dst_port(self, port: int) -> "UdpHeader":
+        return replace(self, dst_port=port)
+
+    def with_src_port(self, port: int) -> "UdpHeader":
+        return replace(self, src_port=port)
+
+    def swapped(self) -> "UdpHeader":
+        return replace(self, src_port=self.dst_port, dst_port=self.src_port)
+
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """The unit transmitted by the simulator.
+
+    ``channel`` is the PLAN-P channel tag for packets sent on user-defined
+    channels (``None`` for ordinary application traffic).  ``uid`` is a
+    simulator-level trace id, fresh per packet object; copies made by
+    packet duplication get fresh uids with the original recorded in
+    ``copied_from``.
+    """
+
+    ip: IpHeader
+    transport: TcpHeader | UdpHeader | None = None
+    payload: bytes = b""
+    channel: str | None = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    copied_from: int | None = None
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        expected = {TcpHeader: PROTO_TCP, UdpHeader: PROTO_UDP}
+        if self.transport is not None:
+            proto = expected[type(self.transport)]
+            if self.ip.proto != proto:
+                self.ip = replace(self.ip, proto=proto)
+
+    @property
+    def size(self) -> int:
+        """Total on-the-wire size in bytes, headers included."""
+        size = IP_HEADER_BYTES + len(self.payload)
+        if isinstance(self.transport, TcpHeader):
+            size += TCP_HEADER_BYTES
+        elif isinstance(self.transport, UdpHeader):
+            size += UDP_HEADER_BYTES
+        return size
+
+    def copy(self) -> "Packet":
+        """A duplicate with a fresh uid (used by multicast and by ASPs)."""
+        dup = dataclasses.replace(self, uid=next(_uid_counter),
+                                  copied_from=self.uid)
+        return dup
+
+    def hop(self) -> "Packet":
+        """The packet after traversing one router (ttl decremented)."""
+        return dataclasses.replace(self, ip=self.ip.decremented())
+
+    def __repr__(self) -> str:
+        kind = type(self.transport).__name__ if self.transport else "raw"
+        tag = f" chan={self.channel}" if self.channel else ""
+        return (f"Packet#{self.uid}({self.ip.src}->{self.ip.dst} {kind} "
+                f"{len(self.payload)}B{tag})")
+
+
+def udp_packet(src: HostAddr, dst: HostAddr, src_port: int, dst_port: int,
+               payload: bytes, channel: str | None = None) -> Packet:
+    """Build a UDP datagram."""
+    return Packet(ip=IpHeader(src=src, dst=dst, proto=PROTO_UDP),
+                  transport=UdpHeader(src_port=src_port, dst_port=dst_port),
+                  payload=payload, channel=channel)
+
+
+def tcp_packet(src: HostAddr, dst: HostAddr, src_port: int, dst_port: int,
+               payload: bytes = b"", *, seq: int = 0, ack: int = 0,
+               syn: bool = False, fin: bool = False, ack_flag: bool = False,
+               rst: bool = False, channel: str | None = None) -> Packet:
+    """Build a TCP segment."""
+    hdr = TcpHeader(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                    syn=syn, fin=fin, ack_flag=ack_flag, rst=rst)
+    return Packet(ip=IpHeader(src=src, dst=dst, proto=PROTO_TCP),
+                  transport=hdr, payload=payload, channel=channel)

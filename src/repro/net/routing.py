@@ -1,0 +1,96 @@
+"""Static IP routing tables.
+
+The paper assumes routing tables without cycles (that assumption is what
+makes global termination provable), so routes here are computed offline
+from the topology graph by shortest path and never change mid-run —
+except in fault-injection tests, which recompute after removing nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from .addresses import HostAddr
+
+if TYPE_CHECKING:
+    from .node import Interface, Node
+
+
+class RoutingTable:
+    """Maps destination host addresses to outgoing interfaces."""
+
+    def __init__(self):
+        self._routes: dict[HostAddr, "Interface"] = {}
+        self._default: "Interface | None" = None
+
+    def add_route(self, dst: HostAddr, iface: "Interface") -> None:
+        self._routes[dst] = iface
+
+    def set_default(self, iface: "Interface") -> None:
+        self._default = iface
+
+    def lookup(self, dst: HostAddr) -> "Interface | None":
+        route = self._routes.get(dst)
+        if route is not None:
+            return route
+        return self._default
+
+    def remove_route(self, dst: HostAddr) -> None:
+        self._routes.pop(dst, None)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def entries(self) -> dict[HostAddr, "Interface"]:
+        return dict(self._routes)
+
+
+def compute_routes(nodes: list["Node"]) -> None:
+    """Fill every node's routing table with shortest-path routes.
+
+    Builds the node adjacency graph from shared media, runs all-pairs
+    shortest paths, and installs one host route per (node, destination
+    address).  Deterministic: ties break on node name.
+    """
+    graph = nx.Graph()
+    for node in nodes:
+        graph.add_node(node.name)
+    by_name = {node.name: node for node in nodes}
+
+    # Adjacency: two nodes sharing any medium are neighbours.
+    medium_members: dict[int, list] = {}
+    for node in nodes:
+        for iface in node.interfaces:
+            medium_members.setdefault(id(iface.medium), []).append(node)
+    for members in medium_members.values():
+        members = sorted(set(members), key=lambda n: n.name)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                graph.add_edge(a.name, b.name)
+
+    paths = dict(nx.all_pairs_shortest_path(graph))
+
+    for node in nodes:
+        node.routes = RoutingTable()
+        for target in nodes:
+            if target is node:
+                continue
+            path = paths.get(node.name, {}).get(target.name)
+            if path is None or len(path) < 2:
+                continue
+            next_hop = by_name[path[1]]
+            iface = _iface_toward(node, next_hop)
+            if iface is None:
+                continue
+            for addr in target.addresses:
+                node.routes.add_route(addr, iface)
+
+
+def _iface_toward(node: "Node", neighbor: "Node") -> "Interface | None":
+    neighbor_media = {id(i.medium) for i in neighbor.interfaces}
+    for iface in node.interfaces:
+        if id(iface.medium) in neighbor_media:
+            return iface
+    return None

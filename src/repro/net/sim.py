@@ -1,0 +1,177 @@
+"""Deterministic discrete-event simulation engine.
+
+All experiments run on this engine: time is simulated seconds, events are
+callbacks ordered by (time, sequence number), and every source of
+randomness draws from the simulator's seeded RNG, so runs are exactly
+reproducible — a substitute for the paper's LAN testbed that trades
+absolute timing fidelity for determinism (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; allows cancelling a pending event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A single-threaded event loop over simulated time."""
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    def schedule(self, delay: float,
+                 fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = _Event(self.now + delay, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def at(self, when: float, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn`` at absolute simulated time ``when``."""
+        return self.schedule(max(0.0, when - self.now), fn)
+
+    def every(self, interval: float, fn: Callable[[], None],
+              start: float | None = None,
+              until: float | None = None) -> "PeriodicTask":
+        """Run ``fn`` every ``interval`` seconds until cancelled."""
+        return PeriodicTask(self, interval, fn, start=start, until=until)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains or ``until`` is passed.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until``
+        even if the queue drained earlier, so fixed-horizon experiments
+        always end at the same clock reading.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (guarding against runaways)."""
+        processed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"simulation did not converge within {max_events} "
+                    f"events — possible packet storm")
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class PeriodicTask:
+    """A self-rescheduling event, e.g. an audio frame clock."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 fn: Callable[[], None], start: float | None = None,
+                 until: float | None = None):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._until = until
+        self._stopped = False
+        self._handle: EventHandle | None = None
+        first_delay = 0.0 if start is None else max(0.0, start - sim.now)
+        self._handle = sim.schedule(first_delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self._until is not None and self._sim.now > self._until:
+            return
+        self._fn()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._interval, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+
+class SerialResource:
+    """A serial processing resource (e.g. a node's CPU).
+
+    Work items run in submission order, each occupying the resource for
+    its cost; with ``per_item_s == 0`` submission is immediate and
+    synchronous.  Used to charge gateway nodes for per-packet ASP
+    execution — the contention point of the paper's figure 8.
+    """
+
+    def __init__(self, sim: Simulator, per_item_s: float = 0.0):
+        self._sim = sim
+        self.per_item_s = per_item_s
+        self._busy_until = 0.0
+        self.items_processed = 0
+
+    def submit(self, fn: Callable[[], None],
+               cost_s: float | None = None) -> None:
+        cost = self.per_item_s if cost_s is None else cost_s
+        self.items_processed += 1
+        if cost <= 0:
+            fn()
+            return
+        start = max(self._sim.now, self._busy_until)
+        self._busy_until = start + cost
+        self._sim.at(self._busy_until, fn)
+
+    @property
+    def backlog_s(self) -> float:
+        return max(0.0, self._busy_until - self._sim.now)

@@ -1,0 +1,128 @@
+"""Topology construction: the ``Network`` façade.
+
+Experiments and examples build their networks through this class; it owns
+the simulator, allocates addresses, wires interfaces to media, and
+finalises routing and multicast trees.
+
+Typical use (the paper's figure 5 network is built exactly like this in
+:mod:`repro.apps.audio.experiment`)::
+
+    net = Network(seed=42)
+    source = net.add_host("audio-source")
+    router = net.add_router("router")
+    client = net.add_host("client")
+    net.link(source, router, bandwidth=100e6)
+    segment = net.segment("lan", bandwidth=10e6)
+    net.attach(router, segment)
+    net.attach(client, segment)
+    net.finalize()
+"""
+
+from __future__ import annotations
+
+from .addresses import AddressAllocator, HostAddr
+from .link import Link, Segment
+from .multicast import GroupManager
+from .node import Host, Node, Router
+from .routing import compute_routes
+from .sim import Simulator
+from .tcp import TcpStack
+from .udp import UdpStack
+
+
+class Network:
+    """A simulated network under construction (and then in operation)."""
+
+    def __init__(self, seed: int = 0, base_addr: str = "10.0.0.0"):
+        self.sim = Simulator(seed=seed)
+        self.nodes: list[Node] = []
+        self.media: list[Link | Segment] = []
+        self._alloc = AddressAllocator(base_addr)
+        self._by_name: dict[str, Node] = {}
+        self._finalized = False
+
+    # -- nodes ------------------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        return self._add_node(Host(self.sim, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._add_node(Router(self.sim, name))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self._by_name:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        return node
+
+    def __getitem__(self, name: str) -> Node:
+        return self._by_name[name]
+
+    # -- media ------------------------------------------------------------------
+
+    def link(self, a: Node, b: Node, bandwidth: float = 100e6,
+             latency: float = 0.0005, queue_limit: int = 64,
+             loss_rate: float = 0.0) -> Link:
+        """Connect two nodes with a point-to-point link."""
+        link = Link(self.sim, bandwidth_bps=bandwidth, latency=latency,
+                    queue_limit=queue_limit, loss_rate=loss_rate,
+                    name=f"{a.name}--{b.name}")
+        subnet = self._alloc.new_subnet()
+        a.add_interface(link, self._alloc.new_host(subnet))
+        b.add_interface(link, self._alloc.new_host(subnet))
+        self.media.append(link)
+        return link
+
+    def segment(self, name: str, bandwidth: float = 10e6,
+                latency: float = 0.0002, queue_limit: int = 128,
+                loss_rate: float = 0.0) -> Segment:
+        """Create a shared segment; attach nodes with :meth:`attach`."""
+        seg = Segment(self.sim, bandwidth_bps=bandwidth, latency=latency,
+                      queue_limit=queue_limit, loss_rate=loss_rate,
+                      name=name)
+        seg._subnet = self._alloc.new_subnet()  # type: ignore[attr-defined]
+        self.media.append(seg)
+        return seg
+
+    def attach(self, node: Node, seg: Segment) -> None:
+        addr = self._alloc.new_host(seg._subnet)  # type: ignore[attr-defined]
+        node.add_interface(seg, addr)
+
+    # -- services ----------------------------------------------------------------
+
+    def udp(self, node: Node) -> UdpStack:
+        """The node's UDP stack (created on first use)."""
+        if not hasattr(node, "_udp_stack"):
+            node._udp_stack = UdpStack(node)  # type: ignore[attr-defined]
+        return node._udp_stack  # type: ignore[attr-defined]
+
+    def tcp(self, node: Node) -> TcpStack:
+        """The node's TCP stack (created on first use)."""
+        if not hasattr(node, "_tcp_stack"):
+            node._tcp_stack = TcpStack(node)  # type: ignore[attr-defined]
+        return node._tcp_stack  # type: ignore[attr-defined]
+
+    # -- finalisation ---------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Compute unicast routes; call after all media are wired."""
+        compute_routes(self.nodes)
+        self._finalized = True
+
+    def multicast_group(self, group: str | HostAddr, source: Node,
+                        receivers: list[Node]) -> HostAddr:
+        """Install a multicast tree for ``group`` rooted at ``source``."""
+        if isinstance(group, str):
+            group = HostAddr.parse(group)
+        GroupManager(self.nodes).setup_group(group, source, receivers)
+        return group
+
+    def run(self, until: float | None = None) -> None:
+        if not self._finalized:
+            raise RuntimeError("call finalize() before running")
+        self.sim.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

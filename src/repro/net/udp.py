@@ -1,0 +1,97 @@
+"""A UDP-style datagram transport.
+
+One :class:`UdpStack` per host demultiplexes datagrams to bound sockets.
+Unreliable and unordered, exactly as the audio/MPEG-data paths of the
+paper's applications require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .addresses import HostAddr
+from .node import Node
+from .packet import PROTO_UDP, Packet, UdpHeader, udp_packet
+
+#: callback(payload, src_addr, src_port)
+DatagramHandler = Callable[[bytes, HostAddr, int], None]
+
+
+class UdpSocket:
+    """A bound UDP endpoint."""
+
+    def __init__(self, stack: "UdpStack", port: int):
+        self._stack = stack
+        self.port = port
+        self.on_datagram: DatagramHandler | None = None
+        self.received: list[tuple[bytes, HostAddr, int]] = []
+        self.closed = False
+
+    def sendto(self, dst: HostAddr, dst_port: int, payload: bytes) -> None:
+        if self.closed:
+            raise RuntimeError("socket is closed")
+        self._stack.send_from(self.port, dst, dst_port, payload)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._stack._unbind(self.port)
+
+    def _deliver(self, payload: bytes, src: HostAddr,
+                 src_port: int) -> None:
+        if self.on_datagram is not None:
+            self.on_datagram(payload, src, src_port)
+        else:
+            self.received.append((payload, src, src_port))
+
+
+class UdpStack:
+    """The UDP layer of one node."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._sockets: dict[int, UdpSocket] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+        node.register_proto(PROTO_UDP, self._on_packet)
+
+    def bind(self, port: int = 0) -> UdpSocket:
+        """Bind a socket; ``port=0`` picks an ephemeral port."""
+        if port == 0:
+            port = self._alloc_ephemeral()
+        if port in self._sockets:
+            raise ValueError(f"udp port {port} in use on {self.node.name}")
+        sock = UdpSocket(self, port)
+        self._sockets[port] = sock
+        return sock
+
+    def _alloc_ephemeral(self) -> int:
+        while self._next_ephemeral in self._sockets:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def send_from(self, src_port: int, dst: HostAddr, dst_port: int,
+                  payload: bytes) -> None:
+        self.datagrams_out += 1
+        packet = udp_packet(self.node.address, dst, src_port, dst_port,
+                            payload)
+        packet.created_at = self.node.sim.now
+        self.node.ip_send(packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        header = packet.transport
+        if not isinstance(header, UdpHeader):
+            return
+        sock = self._sockets.get(header.dst_port)
+        if sock is None or sock.closed:
+            return
+        self.datagrams_in += 1
+        sock._deliver(packet.payload, packet.ip.src, header.src_port)

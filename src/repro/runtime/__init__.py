@@ -1,0 +1,21 @@
+"""The PLAN-P run-time system: node layer, wire codec, deployment."""
+
+from .codec import CodecError, decode, encode, matches, packet_views
+from .deployment import Deployment, DeploymentRecord
+from .netdeploy import DeploymentManager, DeploymentService, PushStatus
+from .planp_layer import PlanPLayer, PlanPStats
+
+__all__ = [
+    "CodecError",
+    "Deployment",
+    "DeploymentRecord",
+    "DeploymentManager",
+    "DeploymentService",
+    "PushStatus",
+    "PlanPLayer",
+    "PlanPStats",
+    "decode",
+    "encode",
+    "matches",
+    "packet_views",
+]

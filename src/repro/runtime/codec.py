@@ -1,0 +1,148 @@
+"""Encoding between wire packets and PLAN-P packet values.
+
+A channel's packet type (``ip*tcp*char*int`` etc.) describes a *view* of
+a real packet: the IP header, optionally a transport header, then a
+sequence of payload views decoded from the payload bytes.  This is how
+overloaded ``network`` channels dispatch on the leading payload byte in
+figure 4 of the paper — the ``char`` view *is* that byte.
+
+View layout rules:
+
+* fixed-size views: ``char``/``bool`` = 1 byte, ``int`` = 4 bytes
+  big-endian signed, ``host`` = 4 bytes;
+* ``blob`` and ``string`` consume the remaining payload and therefore
+  may only appear as the final component;
+* a packet matches a type only if the payload is long enough for all
+  fixed views, and any residue is consumed by a trailing blob/string.
+"""
+
+from __future__ import annotations
+
+from ..lang import types as T
+from ..net.addresses import HostAddr
+from ..net.packet import (PROTO_RAW, PROTO_TCP, PROTO_UDP, IpHeader, Packet,
+                          TcpHeader, UdpHeader)
+
+_FIXED_SIZES: dict[T.Type, int] = {T.CHAR: 1, T.BOOL: 1, T.INT: 4, T.HOST: 4}
+
+
+class CodecError(Exception):
+    """A value tuple cannot be encoded, or a type is malformed."""
+
+
+def packet_views(packet_type: T.TupleType) -> tuple[T.Type | None,
+                                                    list[T.Type]]:
+    """Split a packet type into (transport header type | None, payload
+    view types).  Raises :class:`CodecError` on malformed layouts."""
+    elems = list(packet_type.elems)
+    if not elems or elems[0] != T.IP:
+        raise CodecError(f"packet type must start with ip: {packet_type}")
+    rest = elems[1:]
+    transport: T.Type | None = None
+    if rest and rest[0] in (T.TCP, T.UDP):
+        transport = rest[0]
+        rest = rest[1:]
+    for view in rest[:-1]:
+        if view in (T.BLOB, T.STRING):
+            raise CodecError(
+                f"{view} view must be the final component: {packet_type}")
+    for view in rest:
+        if view not in _FIXED_SIZES and view not in (T.BLOB, T.STRING):
+            raise CodecError(f"unsupported payload view {view}")
+    return transport, rest
+
+
+def matches(packet: Packet, packet_type: T.TupleType) -> bool:
+    """Does a wire packet match a channel's packet type?"""
+    try:
+        transport, views = packet_views(packet_type)
+    except CodecError:
+        return False
+    if transport == T.TCP and not isinstance(packet.transport, TcpHeader):
+        return False
+    if transport == T.UDP and not isinstance(packet.transport, UdpHeader):
+        return False
+    if transport is None and packet.transport is not None:
+        return False
+    fixed = sum(_FIXED_SIZES.get(v, 0) for v in views)
+    if len(packet.payload) < fixed:
+        return False
+    has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
+    if not has_tail and len(packet.payload) != fixed:
+        return False
+    return True
+
+
+def decode(packet: Packet, packet_type: T.TupleType) -> tuple:
+    """Build the PLAN-P packet value a channel receives."""
+    transport, views = packet_views(packet_type)
+    parts: list[object] = [packet.ip]
+    if transport is not None:
+        parts.append(packet.transport)
+    offset = 0
+    payload = packet.payload
+    for view in views:
+        if view == T.BLOB:
+            parts.append(payload[offset:])
+            offset = len(payload)
+        elif view == T.STRING:
+            parts.append(payload[offset:].decode("latin-1"))
+            offset = len(payload)
+        elif view == T.CHAR:
+            parts.append(chr(payload[offset]))
+            offset += 1
+        elif view == T.BOOL:
+            parts.append(payload[offset] != 0)
+            offset += 1
+        elif view == T.INT:
+            parts.append(int.from_bytes(payload[offset:offset + 4], "big",
+                                        signed=True))
+            offset += 4
+        elif view == T.HOST:
+            parts.append(HostAddr(int.from_bytes(
+                payload[offset:offset + 4], "big")))
+            offset += 4
+    return tuple(parts)
+
+
+def encode(value: tuple, *, channel: str | None = None,
+           created_at: float = 0.0) -> Packet:
+    """Build a wire packet from a PLAN-P packet value.
+
+    The layout is recovered from the runtime types of the components, so
+    any well-typed channel emission encodes without extra metadata.
+    """
+    if not value or not isinstance(value[0], IpHeader):
+        raise CodecError(f"packet value must start with an ip header, "
+                         f"got {value!r}")
+    ip = value[0]
+    rest = value[1:]
+    transport: TcpHeader | UdpHeader | None = None
+    if rest and isinstance(rest[0], (TcpHeader, UdpHeader)):
+        transport = rest[0]
+        rest = rest[1:]
+        proto = PROTO_TCP if isinstance(transport, TcpHeader) else PROTO_UDP
+    else:
+        proto = PROTO_RAW
+    if ip.proto != proto:
+        ip = IpHeader(src=ip.src, dst=ip.dst, ttl=ip.ttl, proto=proto,
+                      tos=ip.tos)
+    chunks: list[bytes] = []
+    for part in rest:
+        if isinstance(part, bytes):
+            chunks.append(part)
+        elif isinstance(part, bool):
+            chunks.append(b"\x01" if part else b"\x00")
+        elif isinstance(part, int):
+            chunks.append(int(part).to_bytes(4, "big", signed=True))
+        elif isinstance(part, str) and len(part) == 1:
+            chunks.append(part.encode("latin-1", errors="replace"))
+        elif isinstance(part, str):
+            chunks.append(part.encode("latin-1", errors="replace"))
+        elif isinstance(part, HostAddr):
+            chunks.append(part.value.to_bytes(4, "big"))
+        else:
+            raise CodecError(
+                f"cannot encode {type(part).__name__} into a payload")
+    return Packet(ip=ip, transport=transport, payload=b"".join(chunks),
+                  channel=channel, created_at=created_at)

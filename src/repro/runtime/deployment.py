@@ -1,0 +1,79 @@
+"""ASP deployment management (paper §5's "protocol management").
+
+``Deployment`` verifies a program once, then installs it on any number of
+nodes — routers and end hosts alike — compiling per node (the paper's
+run-time specialization happens at each downloading node).  It records
+the verification report so operators can audit why a program was accepted
+or rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.verifier import VerificationReport, verify_report
+from ..lang import parse, typecheck
+from ..lang.errors import VerificationError
+from ..net.node import Node
+from .planp_layer import PlanPLayer
+
+
+@dataclass
+class DeploymentRecord:
+    source_name: str
+    nodes: list[str]
+    backend: str
+    verified: bool
+    report: VerificationReport | None
+    codegen_ms: dict[str, float] = field(default_factory=dict)
+
+
+class Deployment:
+    """Distributes ASPs across a simulated network."""
+
+    def __init__(self):
+        self.records: list[DeploymentRecord] = []
+
+    def layer_of(self, node: Node) -> PlanPLayer:
+        """The node's PLAN-P layer (created on first use)."""
+        if node.planp is None:
+            PlanPLayer(node)
+        assert node.planp is not None
+        return node.planp
+
+    def install(self, source: str, nodes: list[Node], *,
+                backend: str = "closure", verify: bool = True,
+                source_name: str = "<asp>") -> DeploymentRecord:
+        """Verify once, install everywhere.
+
+        Raises :class:`VerificationError` (without touching any node) if
+        verification is requested and fails.
+        """
+        # Front-end once, centrally: a rejected program reaches no node.
+        program = parse(source, source_name)
+        info = typecheck(program)
+        report: VerificationReport | None = None
+        if verify:
+            report = verify_report(info)
+            if not report.passed:
+                failure = report.failures[0]
+                raise VerificationError(
+                    f"{source_name} rejected by {failure.name}: "
+                    f"{failure.detail}", analysis=failure.name)
+
+        record = DeploymentRecord(source_name=source_name,
+                                  nodes=[n.name for n in nodes],
+                                  backend=backend, verified=verify,
+                                  report=report)
+        for node in nodes:
+            layer = self.layer_of(node)
+            loaded = layer.install(source, backend=backend, verify=False,
+                                   source_name=source_name)
+            record.codegen_ms[node.name] = loaded.codegen_ms
+        self.records.append(record)
+        return record
+
+    def uninstall(self, nodes: list[Node]) -> None:
+        for node in nodes:
+            if node.planp is not None:
+                node.planp.uninstall()

@@ -1,0 +1,188 @@
+"""ASP deployment over the network itself (paper §5: "protocol
+management functionalities, such as ASP deployment").
+
+A :class:`DeploymentService` runs on every managed node and listens on a
+UDP control port; a :class:`DeploymentManager` pushes program source to
+any set of nodes.  The receiving node runs the full download path —
+parse, type check, the four analyses, JIT — and acknowledges
+acceptance (with its code-generation time) or rejection (with the
+failing analysis), exactly the late-checking deployment story of §2.1.
+
+Wire protocol (one datagram per message, text headers):
+
+    manager -> node:  BEGIN <xfer> <n_chunks> <backend> <verify>
+                      CHUNK <xfer> <index>\\n<raw source bytes>
+                      COMMIT <xfer>
+    node -> manager:  OK <xfer> <codegen_ms>
+                      REJ <xfer> <reason>
+
+Transfers are idempotent per ``<xfer>`` id; unknown or incomplete
+commits are rejected rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lang.errors import PlanPError
+from ..net.addresses import HostAddr
+from ..net.node import Host, Node
+from ..net.topology import Network
+from .planp_layer import PlanPLayer
+
+DEPLOY_PORT = 9900
+CHUNK_BYTES = 900
+
+
+@dataclass
+class _Transfer:
+    n_chunks: int
+    backend: str
+    verify: bool
+    chunks: dict[int, bytes] = field(default_factory=dict)
+
+
+class DeploymentService:
+    """The on-node receiver: reassembles, verifies, installs."""
+
+    def __init__(self, net: Network, node: Node,
+                 port: int = DEPLOY_PORT):
+        self.net = net
+        self.node = node
+        self.port = port
+        self.installed: list[str] = []
+        self.rejected: list[tuple[str, str]] = []
+        self._transfers: dict[str, _Transfer] = {}
+        self._socket = net.udp(node).bind(port)
+        self._socket.on_datagram = self._on_datagram
+        if node.planp is None:
+            PlanPLayer(node)
+
+    # -- protocol ----------------------------------------------------------------
+
+    def _on_datagram(self, payload: bytes, src: HostAddr,
+                     src_port: int) -> None:
+        header, _, body = payload.partition(b"\n")
+        parts = header.decode("latin-1", errors="replace").split(" ")
+        if not parts:
+            return
+        if parts[0] == "BEGIN" and len(parts) == 5:
+            self._transfers[parts[1]] = _Transfer(
+                n_chunks=int(parts[2]), backend=parts[3],
+                verify=parts[4] == "1")
+        elif parts[0] == "CHUNK" and len(parts) == 3:
+            transfer = self._transfers.get(parts[1])
+            if transfer is not None:
+                transfer.chunks[int(parts[2])] = body
+        elif parts[0] == "COMMIT" and len(parts) == 2:
+            self._commit(parts[1], src, src_port)
+
+    def _commit(self, xfer: str, src: HostAddr, src_port: int) -> None:
+        transfer = self._transfers.pop(xfer, None)
+        if transfer is None:
+            self._reply(src, src_port, f"REJ {xfer} unknown transfer")
+            return
+        if len(transfer.chunks) != transfer.n_chunks:
+            self._reply(src, src_port,
+                        f"REJ {xfer} incomplete "
+                        f"({len(transfer.chunks)}/{transfer.n_chunks})")
+            return
+        source = b"".join(transfer.chunks[i]
+                          for i in range(transfer.n_chunks)) \
+            .decode("latin-1")
+        assert self.node.planp is not None
+        try:
+            loaded = self.node.planp.install(
+                source, backend=transfer.backend,
+                verify=transfer.verify, source_name=f"<net:{xfer}>")
+        except PlanPError as err:
+            self.rejected.append((xfer, err.message))
+            self._reply(src, src_port, f"REJ {xfer} {err.message}")
+            return
+        self.installed.append(xfer)
+        self._reply(src, src_port,
+                    f"OK {xfer} {loaded.codegen_ms:.3f}")
+
+    def _reply(self, dst: HostAddr, dst_port: int, text: str) -> None:
+        self._socket.sendto(dst, dst_port, text.encode("latin-1"))
+
+
+@dataclass
+class PushStatus:
+    """Outcome of one node's installation, as acknowledged."""
+
+    target: HostAddr
+    ok: bool | None = None   # None until acknowledged
+    detail: str = ""
+    codegen_ms: float | None = None
+
+
+class DeploymentManager:
+    """Pushes programs to DeploymentServices across the network."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, net: Network, host: Host,
+                 port: int = DEPLOY_PORT):
+        self.net = net
+        self.host = host
+        self.port = port
+        self.pushes: dict[str, dict[HostAddr, PushStatus]] = {}
+        self._socket = net.udp(host).bind()
+        self._socket.on_datagram = self._on_ack
+        self._by_xfer: dict[str, dict[HostAddr, PushStatus]] = {}
+
+    def push(self, source: str, targets: list[HostAddr], *,
+             backend: str = "closure", verify: bool = True,
+             name: str = "") -> str:
+        """Ship ``source`` to every target; returns the transfer id.
+
+        Acks arrive asynchronously; poll :meth:`status` after running
+        the simulation."""
+        xfer = name or f"asp{next(self._ids)}"
+        data = source.encode("latin-1")
+        chunks = [data[i:i + CHUNK_BYTES]
+                  for i in range(0, max(len(data), 1), CHUNK_BYTES)]
+        statuses = {t: PushStatus(target=t) for t in targets}
+        self.pushes[xfer] = statuses
+        self._by_xfer[xfer] = statuses
+        for target in targets:
+            self._socket.sendto(
+                target, self.port,
+                f"BEGIN {xfer} {len(chunks)} {backend} "
+                f"{1 if verify else 0}".encode("latin-1"))
+            for i, chunk in enumerate(chunks):
+                self._socket.sendto(
+                    target, self.port,
+                    f"CHUNK {xfer} {i}\n".encode("latin-1") + chunk)
+            self._socket.sendto(target, self.port,
+                                f"COMMIT {xfer}".encode("latin-1"))
+        return xfer
+
+    def _on_ack(self, payload: bytes, src: HostAddr,
+                src_port: int) -> None:
+        parts = payload.decode("latin-1", errors="replace") \
+            .split(" ", 2)
+        if len(parts) < 2:
+            return
+        verdict, xfer = parts[0], parts[1]
+        statuses = self._by_xfer.get(xfer)
+        if statuses is None or src not in statuses:
+            return
+        status = statuses[src]
+        if verdict == "OK":
+            status.ok = True
+            status.codegen_ms = float(parts[2]) if len(parts) > 2 \
+                else None
+        else:
+            status.ok = False
+            status.detail = parts[2] if len(parts) > 2 else ""
+
+    def status(self, xfer: str) -> dict[HostAddr, PushStatus]:
+        return self.pushes.get(xfer, {})
+
+    def all_ok(self, xfer: str) -> bool:
+        statuses = self.status(xfer)
+        return bool(statuses) and all(s.ok for s in statuses.values())

@@ -1,0 +1,229 @@
+"""The IP/PLAN-P layer of a node (paper figure 1).
+
+One instance per node holds the downloaded program, its execution engine
+(interpreter or JIT), the shared protocol state and per-channel states,
+and implements the :class:`ExecutionContext` primitives against the node.
+
+Dispatch rules (paper §2 and §2.3):
+
+* a packet tagged with a user-defined channel name runs that channel;
+* an untagged packet runs the first ``network`` overload whose declared
+  packet type matches the wire packet;
+* unmatched packets fall through to standard IP processing.
+
+A verified program cannot raise at run time on any *delivered* path, but
+the layer still guards: if a channel invocation fails, the packet falls
+back to standard processing and the error is counted — an unverified
+(privileged) program must not take the node down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interp.values import default_value
+from ..jit.pipeline import Engine, LoadedProgram, load_program
+from ..lang import ast
+from ..lang import types as T
+from ..lang.errors import PlanPError, PlanPRuntimeError
+from ..net.addresses import HostAddr
+from ..net.node import Interface, Node
+from ..net.packet import Packet
+from ..net.sim import SerialResource
+from . import codec
+
+
+@dataclass
+class PlanPStats:
+    packets_processed: int = 0
+    packets_emitted: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    runtime_errors: int = 0
+
+
+class PlanPLayer:
+    """The extensible packet-processing layer of one node."""
+
+    def __init__(self, node: Node, promiscuous: bool = False):
+        self.node = node
+        node.planp = self
+        #: promiscuous layers also see traffic not addressed to the node
+        #: (hosts only; the MPEG capture ASP needs this, paper §3.3)
+        self.promiscuous = promiscuous
+        self.loaded: LoadedProgram | None = None
+        self.engine: Engine | None = None
+        self.protocol_state: object = None
+        self.channel_states: dict[int, object] = {}
+        self.stats = PlanPStats()
+        self.console: list[str] = []
+        #: per-packet execution cost charged to the node (0 = free);
+        #: models the CPU the paper's gateway burns per packet
+        self.cpu = SerialResource(node.sim)
+        #: interface/packet being processed (passthrough re-emissions of
+        #: the unchanged packet must not reflect back out of the arrival
+        #: interface; new or modified packets route normally)
+        self._arrival_iface: Interface | None = None
+        self._arrival_packet: Packet | None = None
+
+    # -- program installation ---------------------------------------------------
+
+    def install(self, source: str, *, backend: str = "closure",
+                verify: bool = True, source_name: str = "") -> LoadedProgram:
+        """Download a program: parse, type check, verify, compile.
+
+        ``verify=False`` is the authenticated-privileged-user path the
+        paper reserves for protocols the analyses cannot prove.
+        """
+        loaded = load_program(source, backend=backend, verify=verify,
+                              ctx=self,
+                              source_name=source_name or
+                              f"<asp@{self.node.name}>")
+        self.install_loaded(loaded)
+        return loaded
+
+    def install_loaded(self, loaded: LoadedProgram) -> None:
+        self.loaded = loaded
+        self.engine = loaded.engine
+        channels = loaded.info.all_channels()
+        self.protocol_state = default_value(
+            channels[0].protocol_state_type)
+        self.channel_states = {
+            id(decl): self.engine.initial_channel_state(decl, self)
+            for decl in channels}
+
+    def uninstall(self) -> None:
+        self.loaded = None
+        self.engine = None
+        self.channel_states = {}
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _match(self, packet: Packet) -> ast.ChannelDecl | None:
+        if self.loaded is None:
+            return None
+        info = self.loaded.info
+        if packet.channel is not None:
+            overloads = info.channel_overloads(packet.channel)
+            for decl in overloads:
+                pkt_type = decl.packet_type
+                if isinstance(pkt_type, T.TupleType) and \
+                        codec.matches(packet, pkt_type):
+                    return decl
+            return None
+        for decl in info.channel_overloads("network"):
+            pkt_type = decl.packet_type
+            if isinstance(pkt_type, T.TupleType) and \
+                    codec.matches(packet, pkt_type):
+                return decl
+        return None
+
+    def wants(self, packet: Packet, iface: Interface | None) -> bool:
+        return self._match(packet) is not None
+
+    def process(self, packet: Packet, iface: Interface | None) -> None:
+        """Run the matching channel on an arriving packet (through the
+        node's CPU model, if one is configured)."""
+        if self.cpu.per_item_s > 0:
+            self.cpu.submit(lambda: self._process_now(packet, iface))
+        else:
+            self._process_now(packet, iface)
+
+    def _process_now(self, packet: Packet,
+                     iface: Interface | None) -> None:
+        decl = self._match(packet)
+        if decl is None:  # pragma: no cover - wants() gates this
+            self.node.standard_processing(packet, iface)
+            return
+        assert self.engine is not None
+        value = codec.decode(packet, decl.packet_type)  # type: ignore[arg-type]
+        self.stats.packets_processed += 1
+        self._arrival_iface = iface
+        self._arrival_packet = packet
+        emitted_before = (self.stats.packets_emitted
+                          + self.stats.packets_delivered)
+        try:
+            ps, ss = self.engine.run_channel(
+                decl, self.protocol_state, self.channel_states[id(decl)],
+                value, self)
+        except PlanPError:
+            # Fail open: the node survives and the error is visible in
+            # stats.  The packet gets standard treatment only if the
+            # failed invocation had not already emitted it - otherwise
+            # falling back would duplicate it.
+            self.stats.runtime_errors += 1
+            emitted_after = (self.stats.packets_emitted
+                             + self.stats.packets_delivered)
+            if emitted_after == emitted_before:
+                self.node.standard_processing(packet, iface)
+            return
+        finally:
+            self._arrival_iface = None
+            self._arrival_packet = None
+        self.protocol_state = ps
+        self.channel_states[id(decl)] = ss
+
+    # -- ExecutionContext implementation ---------------------------------------------
+
+    def emit_remote(self, channel: str, packet_value: tuple) -> None:
+        tag = None if channel == "network" else channel
+        packet = codec.encode(packet_value, channel=tag,
+                              created_at=self.node.sim.now)
+        self.stats.packets_emitted += 1
+        self.node.ip_send(packet,
+                          exclude_iface=self._passthrough_exclusion(packet),
+                          from_planp=True)
+
+    def _passthrough_exclusion(self, packet: Packet) -> Interface | None:
+        """An unchanged re-emission of the packet being processed (an
+        observing ASP's ``OnRemote(network, p)``) must not be sent back
+        out of the interface it arrived on — the original transmission
+        is already on that wire.  Anything new or modified routes
+        normally."""
+        orig = self._arrival_packet
+        if orig is None:
+            return None
+        same = (packet.ip.src == orig.ip.src
+                and packet.ip.dst == orig.ip.dst
+                and packet.transport == orig.transport
+                and packet.payload == orig.payload)
+        return self._arrival_iface if same else None
+
+    def emit_neighbor(self, channel: str, packet_value: tuple,
+                      neighbor: HostAddr) -> None:
+        tag = None if channel == "network" else channel
+        packet = codec.encode(packet_value, channel=tag,
+                              created_at=self.node.sim.now)
+        self.stats.packets_emitted += 1
+        out = self.node.iface_toward(neighbor)
+        if out is not None:
+            out.send(packet)
+
+    def deliver(self, packet_value: tuple) -> None:
+        packet = codec.encode(packet_value, created_at=self.node.sim.now)
+        self.stats.packets_delivered += 1
+        self.node.deliver_local(packet)
+
+    def drop(self, packet_value: tuple) -> None:
+        self.stats.packets_dropped += 1
+
+    def this_host(self) -> HostAddr:
+        return self.node.address
+
+    def time_ms(self) -> int:
+        return int(self.node.sim.now * 1000)
+
+    def link_load(self, toward: HostAddr) -> int:
+        return self.node.link_load_toward(toward)
+
+    def link_bandwidth(self, toward: HostAddr) -> int:
+        return self.node.link_bandwidth_toward(toward)
+
+    def queue_len(self, toward: HostAddr) -> int:
+        return self.node.queue_len_toward(toward)
+
+    def random_int(self, bound: int) -> int:
+        return self.node.sim.rng.randrange(bound) if bound > 0 else 0
+
+    def output(self, text: str) -> None:
+        self.console.append(text)

@@ -1,0 +1,1 @@
+"""Command-line tooling for the PLAN-P toolchain."""

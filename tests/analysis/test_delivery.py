@@ -1,0 +1,146 @@
+"""Guaranteed-delivery analysis tests."""
+
+import pytest
+
+from repro.analysis import check_delivery
+from repro.lang import VerificationError, parse, typecheck
+
+
+def check(source: str):
+    return typecheck(parse(source))
+
+
+def rejected(source: str, pattern: str):
+    with pytest.raises(VerificationError, match=pattern) as err:
+        check_delivery(check(source))
+    assert err.value.analysis == "delivery"
+
+
+class TestAlwaysExits:
+    def test_forward_passes(self):
+        report = check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); (ps, ss))"))
+        assert report.exits_verified == 1
+
+    def test_deliver_counts_as_exit(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(deliver(p); (ps, ss))"))
+
+    def test_silent_path_rejected(self):
+        rejected(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "if tcpDst(#2 p) = 7 then (ps, ss) "
+            "else (OnRemote(network, p); (ps, ss))",
+            "neither forwards nor delivers")
+
+    def test_both_branches_emit_passes(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "if tcpDst(#2 p) = 7 then (deliver(p); (ps, ss)) "
+            "else (OnRemote(network, p); (ps, ss))"))
+
+    def test_emit_in_condition_counts(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(if ps > 0 then ps else 0 - ps, ss))"))
+
+    def test_emission_inside_fun_counts(self):
+        check_delivery(check(
+            "fun fwd(p : ip*tcp*blob) : unit = OnRemote(network, p)\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(fwd(p); (ps, ss))"))
+
+    def test_emission_only_in_one_fun_branch_rejected(self):
+        rejected(
+            "fun maybe(p : ip*tcp*blob, b : bool) : unit = "
+            "if b then OnRemote(network, p) else ()\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(maybe(p, tcpSyn(#2 p)); (ps, ss))",
+            "neither forwards")
+
+
+class TestDrops:
+    def test_explicit_drop_rejected(self):
+        rejected(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "if tcpDst(#2 p) = 7 then (drop(p); deliver(p); (ps, ss)) "
+            "else (OnRemote(network, p); (ps, ss))",
+            "intentionally drops")
+
+    def test_drop_inside_fun_rejected(self):
+        rejected(
+            "fun toss(p : ip*tcp*blob) : unit = drop(p)\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(toss(p); OnRemote(network, p); (ps, ss))",
+            "intentionally drops")
+
+
+class TestUnhandledExceptions:
+    def test_unguarded_blob_access_rejected(self):
+        rejected(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); (blobByte(#3 p, 0), ss))",
+            "Subscript")
+
+    def test_guarded_blob_access_passes(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(try blobByte(#3 p, 0) handle Subscript => 0, ss))"))
+
+    def test_wildcard_handler_covers_everything(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(try blobByte(#3 p, 0) + stringToInt(stringOfBlob(#3 p)) "
+            "handle _ => 0, ss))"))
+
+    def test_wrong_handler_rejected(self):
+        rejected(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(try blobByte(#3 p, 0) handle NotFound => 0, ss))",
+            "Subscript")
+
+    def test_division_by_literal_nonzero_is_safe(self):
+        check_delivery(check(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); (ps / 2, ss))"))
+
+    def test_division_by_variable_needs_handler(self):
+        rejected(
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); (1 / ps, ss))",
+            "DivideByZero")
+
+    def test_user_raise_needs_handler(self):
+        rejected(
+            "exception Boom\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(if ps > 9 then raise Boom else ps, ss))",
+            "Boom")
+
+    def test_exception_in_fun_propagates_to_channel(self):
+        rejected(
+            "fun risky(b : blob) : int = blobByte(b, 0)\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); (risky(#3 p), ss))",
+            "Subscript")
+
+    def test_handler_around_fun_call_passes(self):
+        check_delivery(check(
+            "fun risky(b : blob) : int = blobByte(b, 0)\n"
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(OnRemote(network, p); "
+            "(try risky(#3 p) handle Subscript => 0, ss))"))
+
+    def test_initstate_exceptions_checked(self):
+        rejected(
+            "channel network(ps : int, ss : int, p : ip*tcp*blob) "
+            "initstate stringToInt(\"x\") is "
+            "(OnRemote(network, p); (ps, ss))",
+            "BadInt")

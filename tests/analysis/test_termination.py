@@ -1,0 +1,155 @@
+"""Termination analyses tests (local and global)."""
+
+import pytest
+
+from repro.analysis import (check_global_termination,
+                            check_local_termination)
+from repro.lang import VerificationError, parse, typecheck
+from repro.lang import ast
+
+
+def check(source: str):
+    return typecheck(parse(source))
+
+
+FORWARD = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+           "(OnRemote(network, p); (ps, ss))")
+
+
+class TestLocalTermination:
+    def test_straightline_program_passes(self):
+        check_local_termination(check(FORWARD))
+
+    def test_fun_chain_passes(self):
+        src = ("fun a(x : int) : int = x + 1\n"
+               "fun b(x : int) : int = a(a(x))\n" + FORWARD)
+        check_local_termination(check(src))
+
+    def test_hand_built_recursion_rejected(self):
+        # The type checker already prevents this; the analysis re-checks
+        # on a hand-constructed AST (defence in depth).
+        info = check("fun f(x : int) : int = x + 1\n" + FORWARD)
+        fun = info.funs["f"]
+        fun.decl.body = ast.Call(func="f", args=[ast.Var(name="x")])
+        with pytest.raises(VerificationError, match="recursion"):
+            check_local_termination(info)
+
+    def test_hand_built_forward_call_rejected(self):
+        src = ("fun a(x : int) : int = x\n"
+               "fun b(x : int) : int = x\n" + FORWARD)
+        info = check(src)
+        info.funs["a"].decl.body = ast.Call(func="b",
+                                            args=[ast.Var(name="x")])
+        with pytest.raises(VerificationError, match="forward"):
+            check_local_termination(info)
+
+
+class TestGlobalTermination:
+    def test_pure_forwarding_passes(self):
+        report = check_global_termination(check(FORWARD))
+        assert report.states_explored >= 1
+        assert report.rewrite_edges == 0
+
+    def test_ping_pong_rejected(self):
+        src = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, (ipSwap(#1 p), udpSwap(#2 p), #3 p)); "
+               "(ps, ss))")
+        with pytest.raises(VerificationError, match="cycle"):
+            check_global_termination(check(src))
+
+    def test_unconditional_rewrite_to_this_host_rejected(self):
+        src = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, "
+               "(ipDestSet(#1 p, thisHost()), #2 p, #3 p)); (ps, ss))")
+        with pytest.raises(VerificationError, match="cycle"):
+            check_global_termination(check(src))
+
+    def test_rewrite_guarded_by_port_passes(self):
+        # Rewrites to a literal and changes the destination port so the
+        # rewritten packet can never match the guard again.
+        src = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "if udpDst(#2 p) = 53 then "
+               "(OnRemote(network, (ipDestSet(#1 p, 10.0.0.9), "
+               "udpDstSet(#2 p, 5353), #3 p)); (ps, ss)) "
+               "else (OnRemote(network, p); (ps, ss))")
+        check_global_termination(check(src))
+
+    def test_unguarded_literal_rewrite_converges(self):
+        # Rewriting everything to one literal destination: the rewritten
+        # state rewrites to the *same* literal, so no growing cycle.
+        src = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, (ipDestSet(#1 p, 10.0.0.9), #2 p, "
+               "#3 p)); (ps, ss))")
+        check_global_termination(check(src))
+
+    def test_dst_guard_makes_gateway_pass(self):
+        src = """
+val virtual : host = 10.0.0.1
+val server : host = 10.0.0.2
+channel network(ps : int, ss : unit, p : ip*tcp*blob) is
+  if tcpDst(#2 p) = 80 andalso ipDst(#1 p) = virtual then
+    (OnRemote(network, (ipDestSet(#1 p, server), #2 p, #3 p));
+     (ps + 1, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+"""
+        report = check_global_termination(check(src))
+        assert report.rewrite_edges >= 1  # rewrites exist, but acyclic
+
+    def test_two_literal_ping_pong_rejected(self):
+        # a -> b and b -> a via literal rewrites on the same guard.
+        src = """
+val a : host = 10.0.0.1
+val b : host = 10.0.0.2
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  if udpDst(#2 p) = 9 then
+    (if ipDst(#1 p) = a then
+       OnRemote(network, (ipDestSet(#1 p, b), #2 p, #3 p))
+     else
+       OnRemote(network, (ipDestSet(#1 p, a), #2 p, #3 p));
+     (ps, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+"""
+        with pytest.raises(VerificationError, match="cycle"):
+            check_global_termination(check(src))
+
+    def test_onneighbor_loop_rejected(self):
+        src = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnNeighbor(network, p, 10.0.0.2); (ps, ss))")
+        with pytest.raises(VerificationError, match="cycle"):
+            check_global_termination(check(src))
+
+    def test_reply_to_fixed_port_passes(self):
+        # The MPEG-monitor pattern: reply toward the source on a port
+        # that can never re-match the guard.
+        src = """
+channel network(ps : int, ss : unit, p : ip*udp*string) is
+  if udpDst(#2 p) = 9700 then
+    (OnRemote(network,
+              (ipMk(thisHost(), ipSrc(#1 p)), udpMk(9700, 9800), "re"));
+     (ps, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+"""
+        check_global_termination(check(src))
+
+    def test_reply_to_same_port_rejected(self):
+        # Same shape, but the reply targets the guarded port: a monitor
+        # answering another monitor forever.
+        src = """
+channel network(ps : int, ss : unit, p : ip*udp*string) is
+  if udpDst(#2 p) = 9700 then
+    (OnRemote(network,
+              (ipMk(thisHost(), ipSrc(#1 p)), udpMk(9700, 9700), "re"));
+     (ps, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+"""
+        with pytest.raises(VerificationError, match="cycle"):
+            check_global_termination(check(src))
+
+    def test_state_space_metrics_reported(self):
+        report = check_global_termination(check(FORWARD))
+        assert report.emission_sites == 1
+        assert report.edges >= 1

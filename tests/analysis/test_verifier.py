@@ -1,0 +1,79 @@
+"""Verifier integration: the shipped ASPs pass, adversaries fail."""
+
+import pytest
+
+from repro.analysis import verify_program, verify_report
+from repro.asps import (audio_client_asp, audio_router_asp,
+                        http_gateway_asp, mpeg_client_asp,
+                        mpeg_monitor_asp)
+from repro.lang import VerificationError, parse, typecheck
+
+ALL_ASPS = {
+    "audio-router": audio_router_asp(),
+    "audio-client": audio_client_asp(),
+    "http-gateway-2": http_gateway_asp("10.0.1.2",
+                                       ["10.0.2.2", "10.0.3.2"]),
+    "http-gateway-3": http_gateway_asp(
+        "10.0.1.2", ["10.0.2.2", "10.0.3.2", "10.0.4.2"]),
+    "http-gateway-srchash": http_gateway_asp(
+        "10.0.1.2", ["10.0.2.2", "10.0.3.2"], strategy="srchash"),
+    "mpeg-monitor": mpeg_monitor_asp(),
+    "mpeg-client": mpeg_client_asp(),
+}
+
+
+def check(source: str):
+    return typecheck(parse(source))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_ASPS))
+def test_shipped_asp_verifies(name):
+    report = verify_program(check(ALL_ASPS[name]))
+    assert report.global_termination is not None
+    assert report.delivery is not None
+    assert report.duplication is not None
+
+
+@pytest.mark.parametrize("name", sorted(ALL_ASPS))
+def test_report_mode_all_pass(name):
+    report = verify_report(check(ALL_ASPS[name]))
+    assert report.passed, report.summary()
+    assert len(report.results) == 4
+
+
+def test_report_mode_collects_failures():
+    bad = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+           "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+    report = verify_report(check(bad))
+    assert not report.passed
+    failed = {r.name for r in report.failures}
+    assert "duplication" in failed
+    assert "FAIL duplication" in report.summary()
+
+    # verify_program raises instead.
+    with pytest.raises(VerificationError):
+        verify_program(check(bad))
+
+
+def test_multicast_style_program_needs_privilege():
+    """The paper notes multicast can't be proven duplication-safe: it
+    must be deployed with verification off (authenticated users)."""
+    multicast = """
+channel fanout(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(fanout, p); OnRemote(fanout, p); (ps, ss))
+"""
+    report = verify_report(check(multicast))
+    assert not report.passed
+
+    from repro.jit import load_program
+
+    loaded = load_program(multicast, verify=False)  # privileged path
+    assert loaded.engine is not None
+
+
+def test_analysis_timings_recorded():
+    report = verify_report(check(ALL_ASPS["mpeg-monitor"]))
+    assert all(r.elapsed_ms >= 0 for r in report.results)
+    assert [r.name for r in report.results] == [
+        "local-termination", "global-termination", "delivery",
+        "duplication"]

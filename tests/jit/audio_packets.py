@@ -1,0 +1,18 @@
+"""Shared audio packet fixtures for JIT tests."""
+
+from repro.apps.audio.codec import encode_frame, generate_pcm_stereo16
+from repro.net.addresses import HostAddr
+from repro.net.packet import IpHeader, UdpHeader
+
+
+def audio_packets(n: int = 3) -> list[tuple]:
+    packets = []
+    for seq in range(n):
+        pcm = generate_pcm_stereo16(seq, 32)
+        payload = encode_frame(0, seq, pcm)
+        packets.append((
+            IpHeader(src=HostAddr.parse("10.0.0.1"),
+                     dst=HostAddr.parse("224.1.1.1")),
+            UdpHeader(src_port=5000, dst_port=7000),
+            payload))
+    return packets

@@ -1,0 +1,58 @@
+"""Documentation consistency: LANGUAGE.md matches the implementation."""
+
+import re
+from pathlib import Path
+
+from repro.interp.primitives import BUILTIN_EXCEPTIONS, PRIMITIVES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "LANGUAGE.md"
+
+
+def doc_text() -> str:
+    return DOC.read_text(encoding="utf-8")
+
+
+def documented_primitives() -> set[str]:
+    """Primitive names from the reference's family table."""
+    names: set[str] = set()
+    in_table = False
+    for line in doc_text().splitlines():
+        if line.startswith("| family |"):
+            in_table = True
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                break
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if len(cells) == 2 and not cells[1].startswith("-"):
+                names.update(cells[1].replace("`", "").split())
+    return names
+
+
+def test_every_primitive_documented():
+    missing = set(PRIMITIVES) - documented_primitives()
+    assert not missing, f"primitives absent from LANGUAGE.md: {missing}"
+
+
+def test_no_phantom_primitives_documented():
+    phantom = documented_primitives() - set(PRIMITIVES)
+    assert not phantom, f"LANGUAGE.md documents non-existent: {phantom}"
+
+
+def test_builtin_exceptions_documented():
+    text = doc_text()
+    for name in BUILTIN_EXCEPTIONS:
+        assert name in text, f"exception {name} missing from LANGUAGE.md"
+
+
+def test_emission_forms_documented():
+    text = doc_text()
+    for form in ("OnRemote", "OnNeighbor", "deliver", "drop"):
+        assert form in text
+
+
+def test_grammar_keywords_documented():
+    text = doc_text()
+    for keyword in ("initstate", "channel", "handle", "andalso",
+                    "orelse", "hash_table"):
+        assert keyword in text

@@ -1,0 +1,69 @@
+"""Front-end robustness: arbitrary input never crashes the toolchain
+with anything but its own typed errors (late checking must survive
+hostile downloads, paper §2.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (LexError, ParseError, PlanPError, TypeCheckError,
+                        parse, tokenize, typecheck)
+
+# Text biased toward PLAN-P-looking fragments.
+_planp_alphabet = st.sampled_from(list(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    ' _\'"#()*,;:.<>=+-/^\\\n\t'))
+planp_soup = st.text(alphabet=_planp_alphabet, max_size=300)
+
+keywords = st.sampled_from([
+    "val", "fun", "channel", "initstate", "is", "let", "in", "end",
+    "if", "then", "else", "try", "handle", "raise", "true", "false",
+    "int", "bool", "ip", "tcp", "udp", "blob", "hash_table",
+    "OnRemote", "network", "ps", "ss", "p", "#1", "(", ")", ",", ";",
+    ":", "=", "*", "123", '"str"', "10.0.0.1", "--c\n", "(*b*)",
+])
+keyword_soup = st.lists(keywords, max_size=60).map(" ".join)
+
+
+@given(planp_soup)
+@settings(max_examples=200, deadline=None)
+def test_lexer_total(text):
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return
+    assert tokens[-1].kind.name == "EOF"
+
+
+@given(keyword_soup)
+@settings(max_examples=200, deadline=None)
+def test_parser_total(text):
+    try:
+        parse(text)
+    except (LexError, ParseError):
+        pass
+
+
+@given(keyword_soup)
+@settings(max_examples=150, deadline=None)
+def test_full_pipeline_total(text):
+    """parse + typecheck + verify raise only PlanPError subclasses."""
+    from repro.analysis import verify_report
+
+    try:
+        info = typecheck(parse(text))
+    except PlanPError:
+        return
+    report = verify_report(info)  # must not crash either way
+    assert isinstance(report.passed, bool)
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=100, deadline=None)
+def test_lexer_survives_binary_garbage(data):
+    text = data.decode("latin-1")
+    try:
+        tokenize(text)
+    except LexError:
+        pass

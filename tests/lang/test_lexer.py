@@ -1,0 +1,182 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # strip EOF
+
+
+def single(source):
+    toks = tokenize(source)
+    assert len(toks) == 2, f"expected one token, got {toks}"
+    return toks[0]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n\r\n ") == []
+
+    def test_integer(self):
+        tok = single("42")
+        assert tok.kind is TokenKind.INT
+        assert tok.value == 42
+
+    def test_zero(self):
+        assert single("0").value == 0
+
+    def test_large_integer(self):
+        assert single("4294967295").value == 4294967295
+
+    def test_identifier(self):
+        tok = single("fooBar_3")
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "fooBar_3"
+
+    def test_identifier_with_prime(self):
+        assert single("x'").value == "x'"
+
+    def test_keywords(self):
+        assert kinds("val fun channel initstate is let in end") == [
+            TokenKind.VAL, TokenKind.FUN, TokenKind.CHANNEL,
+            TokenKind.INITSTATE, TokenKind.IS, TokenKind.LET,
+            TokenKind.IN, TokenKind.END]
+
+    def test_type_keywords(self):
+        assert kinds("int bool host blob hash_table") == [
+            TokenKind.TINT, TokenKind.TBOOL, TokenKind.THOST,
+            TokenKind.TBLOB, TokenKind.THASHTABLE]
+
+    def test_bool_literals(self):
+        assert kinds("true false") == [TokenKind.TRUE, TokenKind.FALSE]
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        assert kinds("+ - * / mod ^") == [
+            TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR,
+            TokenKind.SLASH, TokenKind.MOD, TokenKind.CARET]
+
+    def test_comparisons(self):
+        assert kinds("= <> < > <= >=") == [
+            TokenKind.EQ, TokenKind.NEQ, TokenKind.LT, TokenKind.GT,
+            TokenKind.LE, TokenKind.GE]
+
+    def test_two_char_tokens_not_split(self):
+        assert kinds("<=>") == [TokenKind.LE, TokenKind.GT]
+
+    def test_unit_token(self):
+        assert kinds("()") == [TokenKind.UNIT]
+
+    def test_parens_with_space_are_not_unit(self):
+        assert kinds("( )") == [TokenKind.LPAREN, TokenKind.RPAREN]
+
+    def test_arrow_and_cons(self):
+        assert kinds("=> ::") == [TokenKind.ARROW, TokenKind.CONS]
+
+    def test_projection_hash(self):
+        assert kinds("#1 p") == [TokenKind.HASH, TokenKind.INT,
+                                 TokenKind.IDENT]
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        tok = single('"hello"')
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hello"
+
+    def test_empty_string(self):
+        assert single('""').value == ""
+
+    def test_string_escapes(self):
+        assert single(r'"a\nb\tc\"d\\e"').value == 'a\nb\tc"d\\e'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_string_with_newline_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError, match="bad string escape"):
+            tokenize(r'"\q"')
+
+    def test_char_literal(self):
+        tok = single('#"A"')
+        assert tok.kind is TokenKind.CHAR
+        assert tok.value == "A"
+
+    def test_char_escape(self):
+        assert single(r'#"\n"').value == "\n"
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError, match="unterminated char"):
+            tokenize('#"A')
+
+
+class TestIpAddresses:
+    def test_ip_literal(self):
+        tok = single("131.254.60.81")
+        assert tok.kind is TokenKind.IPADDR
+        assert tok.value == "131.254.60.81"
+
+    def test_ip_group_out_of_range(self):
+        with pytest.raises(LexError, match="out of range"):
+            tokenize("1.2.3.256")
+
+    def test_two_dotted_groups_rejected(self):
+        with pytest.raises(LexError, match="malformed IP"):
+            tokenize("1.2")
+
+    def test_int_then_ident(self):
+        assert kinds("3 x") == [TokenKind.INT, TokenKind.IDENT]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 -- comment here\n2") == [TokenKind.INT,
+                                                 TokenKind.INT]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("1 -- no newline") == [TokenKind.INT]
+
+    def test_block_comment(self):
+        assert kinds("1 (* skip *) 2") == [TokenKind.INT, TokenKind.INT]
+
+    def test_nested_block_comment(self):
+        assert kinds("1 (* a (* b *) c *) 2") == [TokenKind.INT,
+                                                  TokenKind.INT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated block"):
+            tokenize("1 (* oops")
+
+    def test_minus_minus_is_comment_not_double_negation(self):
+        assert kinds("--1\n2") == [TokenKind.INT]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("val\n  x")
+        assert toks[0].pos.line == 1
+        assert toks[0].pos.column == 1
+        assert toks[1].pos.line == 2
+        assert toks[1].pos.column == 3
+
+    def test_position_after_comment(self):
+        toks = tokenize("-- c\nfoo")
+        assert toks[0].pos.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")

@@ -1,0 +1,44 @@
+"""Every shipped ASP survives a parse → unparse → parse round trip with
+its verification verdict unchanged."""
+
+import pytest
+
+from repro.analysis import verify_report
+from repro.asps import (audio_client_asp, audio_router_asp,
+                        content_filter_asp, firewall_asp,
+                        http_gateway_asp, image_distiller_asp,
+                        link_compressor_asp, link_decompressor_asp,
+                        mpeg_client_asp, mpeg_monitor_asp)
+from repro.lang import parse, typecheck
+from repro.lang.unparse import unparse
+
+SHIPPED = {
+    "audio-router": audio_router_asp(),
+    "audio-client": audio_client_asp(),
+    "http-gateway": http_gateway_asp("10.0.1.2",
+                                     ["10.0.2.2", "10.0.3.2"]),
+    "mpeg-monitor": mpeg_monitor_asp(),
+    "mpeg-client": mpeg_client_asp(),
+    "image-distiller": image_distiller_asp(),
+    "compressor": link_compressor_asp(app_port=4444),
+    "decompressor": link_decompressor_asp(app_port=4444),
+    "content-filter": content_filter_asp("/x", "10.0.9.9"),
+    "firewall": firewall_asp([23]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED))
+def test_roundtrip_preserves_text_fixpoint(name):
+    program = parse(SHIPPED[name], name)
+    text = unparse(program)
+    assert unparse(parse(text, name)) == text
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED))
+def test_roundtrip_preserves_verification_verdict(name):
+    original = verify_report(typecheck(parse(SHIPPED[name], name)))
+    reparsed = verify_report(typecheck(parse(
+        unparse(parse(SHIPPED[name], name)), name)))
+    assert original.passed == reparsed.passed
+    assert ([r.name for r in original.failures]
+            == [r.name for r in reparsed.failures])

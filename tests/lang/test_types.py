@@ -1,0 +1,104 @@
+"""Type-language unit tests."""
+
+from repro.lang import types as T
+
+
+class TestEquality:
+    def test_atomic_singletons_equal(self):
+        assert T.INT == T.IntType()
+        assert T.INT != T.BOOL
+
+    def test_tuple_equality(self):
+        assert T.TupleType((T.IP, T.TCP)) == T.TupleType((T.IP, T.TCP))
+        assert T.TupleType((T.IP, T.TCP)) != T.TupleType((T.IP, T.UDP))
+
+    def test_container_equality(self):
+        assert T.HashTableType(T.INT) == T.HashTableType(T.INT)
+        assert T.ListType(T.INT) != T.ListType(T.BOOL)
+
+    def test_types_are_hashable(self):
+        s = {T.INT, T.BOOL, T.TupleType((T.INT, T.BOOL)),
+             T.HashTableType(T.INT)}
+        assert len(s) == 4
+
+
+class TestPrinting:
+    def test_atomic_names(self):
+        assert str(T.INT) == "int"
+        assert str(T.BLOB) == "blob"
+        assert str(T.IP) == "ip"
+
+    def test_tuple_printing(self):
+        assert str(T.TupleType((T.IP, T.TCP, T.BLOB))) == "ip*tcp*blob"
+
+    def test_nested_tuple_parenthesised(self):
+        t = T.TupleType((T.TupleType((T.HOST, T.INT)), T.BOOL))
+        assert str(t) == "(host*int)*bool"
+
+    def test_hash_table_printing(self):
+        assert str(T.HashTableType(T.INT)) == "(int) hash_table"
+
+
+class TestCompatible:
+    def test_any_matches_everything(self):
+        assert T.compatible(T.ANY, T.INT)
+        assert T.compatible(T.HashTableType(T.INT), T.ANY)
+
+    def test_any_inside_container(self):
+        assert T.compatible(T.HashTableType(T.INT),
+                            T.HashTableType(T.ANY))
+
+    def test_tuple_componentwise(self):
+        assert T.compatible(T.TupleType((T.INT, T.ANY)),
+                            T.TupleType((T.INT, T.BOOL)))
+        assert not T.compatible(T.TupleType((T.INT, T.BOOL)),
+                                T.TupleType((T.BOOL, T.BOOL)))
+
+    def test_tuple_arity_must_match(self):
+        assert not T.compatible(T.TupleType((T.INT, T.INT)),
+                                T.TupleType((T.INT, T.INT, T.INT)))
+
+    def test_mismatched_atoms(self):
+        assert not T.compatible(T.INT, T.BOOL)
+
+
+class TestEqualityTypes:
+    def test_scalars_admit_equality(self):
+        for t in (T.INT, T.BOOL, T.STRING, T.CHAR, T.HOST, T.BLOB):
+            assert T.is_equality_type(t)
+
+    def test_hash_table_does_not(self):
+        assert not T.is_equality_type(T.HashTableType(T.INT))
+
+    def test_headers_do_not(self):
+        assert not T.is_equality_type(T.IP)
+        assert not T.is_equality_type(T.TCP)
+
+    def test_tuple_of_equality_types(self):
+        assert T.is_equality_type(T.TupleType((T.HOST, T.INT)))
+        assert not T.is_equality_type(T.TupleType((T.HOST, T.IP)))
+
+
+class TestPacketTypes:
+    def test_classic_packet_type(self):
+        assert T.is_packet_type(T.TupleType((T.IP, T.TCP, T.BLOB)))
+        assert T.is_packet_type(T.TupleType((T.IP, T.UDP, T.BLOB)))
+
+    def test_overload_views(self):
+        assert T.is_packet_type(T.TupleType((T.IP, T.TCP, T.CHAR,
+                                             T.INT)))
+        assert T.is_packet_type(T.TupleType((T.IP, T.UDP, T.HOST,
+                                             T.INT)))
+
+    def test_raw_packet(self):
+        assert T.is_packet_type(T.TupleType((T.IP, T.BLOB)))
+
+    def test_must_start_with_ip(self):
+        assert not T.is_packet_type(T.TupleType((T.TCP, T.BLOB)))
+
+    def test_no_table_views(self):
+        bad = T.TupleType((T.IP, T.TCP, T.HashTableType(T.INT)))
+        assert not T.is_packet_type(bad)
+
+    def test_non_tuple_is_not_packet(self):
+        assert not T.is_packet_type(T.BLOB)

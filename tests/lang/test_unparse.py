@@ -1,0 +1,73 @@
+"""Pretty-printer tests and the parse/unparse round-trip property."""
+
+from hypothesis import given, settings
+
+from repro.lang import parse, parse_expr
+from repro.lang.unparse import unparse, unparse_expr, unparse_type
+from repro.lang import types as T
+
+from .. import strategies
+
+
+class TestUnparseType:
+    def test_atomic(self):
+        assert unparse_type(T.INT) == "int"
+
+    def test_tuple(self):
+        assert unparse_type(T.TupleType((T.IP, T.TCP, T.BLOB))) == \
+            "ip*tcp*blob"
+
+    def test_hash_table(self):
+        assert unparse_type(T.HashTableType(T.TupleType(
+            (T.HOST, T.INT)))) == "(host*int) hash_table"
+
+    def test_roundtrips_through_parser(self):
+        for t in (T.INT, T.TupleType((T.IP, T.TCP, T.BLOB)),
+                  T.HashTableType(T.INT), T.ListType(T.HOST),
+                  T.TupleType((T.TupleType((T.HOST, T.INT)), T.BOOL))):
+            source = f"fun f(x : {unparse_type(t)}) : int = 1"
+            prog = parse(source)
+            assert prog.decls[0].params[0].declared == t
+
+
+class TestUnparseExpr:
+    def test_string_escaping(self):
+        expr = parse_expr(r'"a\nb\"c"')
+        again = parse_expr(unparse_expr(expr))
+        assert again.value == expr.value
+
+    def test_char(self):
+        expr = parse_expr('#"Z"')
+        assert parse_expr(unparse_expr(expr)).value == "Z"
+
+    def test_precedence_preserved(self):
+        expr = parse_expr("1 + 2 * 3")
+        again = parse_expr(unparse_expr(expr))
+        assert unparse_expr(again) == unparse_expr(expr)
+
+    def test_projection(self):
+        expr = parse_expr("#2 #1 p")
+        assert unparse_expr(expr) == "#2 #1 p"
+
+
+class TestProgramRoundTrip:
+    def test_fixed_program(self):
+        source = """\
+val x : int = 3
+exception Oops
+fun f(a : int) : int = (a + x)
+channel network(ps : int, ss : (int) hash_table, p : ip*tcp*blob) \
+initstate mkTable(16) is (OnRemote(network, p); (f(ps), ss))
+"""
+        prog = parse(source)
+        text = unparse(prog)
+        assert unparse(parse(text)) == text
+
+    @given(strategies.programs())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, source):
+        """unparse is a fixed point: parse(unparse(parse(s))) prints the
+        same text as parse(s)."""
+        prog = parse(source)
+        text = unparse(prog)
+        assert unparse(parse(text)) == text

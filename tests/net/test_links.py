@@ -1,0 +1,156 @@
+"""Link, segment and monitor tests."""
+
+import pytest
+
+from repro.net import Network
+from repro.net.monitor import LoadMonitor
+from repro.net.packet import udp_packet
+
+
+def two_hosts(bandwidth=8_000_000, latency=0.001, queue_limit=4,
+              loss_rate=0.0):
+    net = Network(seed=3)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    link = net.link(a, b, bandwidth=bandwidth, latency=latency,
+                    queue_limit=queue_limit, loss_rate=loss_rate)
+    net.finalize()
+    return net, a, b, link
+
+
+class TestLinkTiming:
+    def test_serialization_plus_latency(self):
+        net, a, b, _link = two_hosts(bandwidth=8_000_000, latency=0.001)
+        arrivals = []
+        b.delivery_taps.append(lambda p: arrivals.append(net.sim.now))
+        # 972-byte payload + 28 header = 1000 B = 8000 bits -> 1 ms tx.
+        p = udp_packet(a.address, b.address, 1, 2, b"x" * 972)
+        a.ip_send(p)
+        net.run()
+        assert arrivals == [pytest.approx(0.002)]
+
+    def test_back_to_back_serialize(self):
+        net, a, b, _link = two_hosts(bandwidth=8_000_000, latency=0.0)
+        arrivals = []
+        b.delivery_taps.append(lambda p: arrivals.append(net.sim.now))
+        for _ in range(3):
+            a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x" * 972))
+        net.run()
+        assert arrivals == [pytest.approx(0.001 * (i + 1))
+                            for i in range(3)]
+
+    def test_duplex_directions_independent(self):
+        net, a, b, link = two_hosts(bandwidth=8_000_000, latency=0.0)
+        arrivals = []
+        a.delivery_taps.append(lambda p: arrivals.append(("a", net.sim.now)))
+        b.delivery_taps.append(lambda p: arrivals.append(("b", net.sim.now)))
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x" * 972))
+        b.ip_send(udp_packet(b.address, a.address, 1, 2, b"x" * 972))
+        net.run()
+        # Both arrive at 1 ms: no shared queue between directions.
+        assert sorted(arrivals) == [("a", pytest.approx(0.001)),
+                                    ("b", pytest.approx(0.001))]
+
+
+class TestQueueing:
+    def test_drop_tail_when_queue_full(self):
+        net, a, b, link = two_hosts(queue_limit=2)
+        received = []
+        b.delivery_taps.append(lambda p: received.append(p.uid))
+        for _ in range(10):
+            a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x" * 972))
+        net.run()
+        stats = link.tx_queue(a.interfaces[0]).stats
+        assert stats.packets_dropped == 7  # 1 in flight + 2 queued kept
+        assert len(received) == 3
+        assert stats.drop_rate() == pytest.approx(0.7)
+
+    def test_random_loss(self):
+        net, a, b, link = two_hosts(loss_rate=0.5)
+        received = []
+        b.delivery_taps.append(lambda p: received.append(p.uid))
+        for i in range(200):
+            net.sim.at(i * 0.01, lambda: a.ip_send(
+                udp_packet(a.address, b.address, 1, 2, b"y" * 100)))
+        net.run()
+        assert 60 < len(received) < 140  # ~100 expected
+
+
+class TestSegment:
+    def test_broadcast_to_all_but_sender(self):
+        net = Network(seed=1)
+        hosts = [net.add_host(f"h{i}") for i in range(4)]
+        seg = net.segment("lan")
+        for h in hosts:
+            net.attach(h, seg)
+        net.finalize()
+        seen = {h.name: [] for h in hosts}
+        for h in hosts:
+            h.receive_taps.append(
+                lambda p, i, name=h.name: seen[name].append(p.uid))
+        hosts[0].ip_send(udp_packet(hosts[0].address, hosts[1].address,
+                                    1, 2, b"z"))
+        net.run()
+        assert seen["h0"] == []
+        assert len(seen["h1"]) == 1
+        assert len(seen["h2"]) == 1  # broadcast medium: h2 sees it too
+        # ...but only h1 delivers it up the stack.
+        assert hosts[1].stats.delivered == 1
+        assert hosts[2].stats.dropped_not_local == 1
+
+    def test_shared_queue_couples_stations(self):
+        net = Network(seed=1)
+        a, b, c = (net.add_host(n) for n in "abc")
+        seg = net.segment("lan", bandwidth=8_000_000, latency=0.0)
+        for h in (a, b, c):
+            net.attach(h, seg)
+        net.finalize()
+        arrivals = []
+        c.delivery_taps.append(lambda p: arrivals.append(net.sim.now))
+        # a and b each transmit one 1000-B packet to c at t=0: the
+        # second serializes after the first (half duplex).
+        a.ip_send(udp_packet(a.address, c.address, 1, 2, b"x" * 972))
+        b.ip_send(udp_packet(b.address, c.address, 1, 2, b"x" * 972))
+        net.run()
+        assert arrivals == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_segment_load_visible(self):
+        net = Network(seed=1)
+        a, b = net.add_host("a"), net.add_host("b")
+        seg = net.segment("lan", bandwidth=1_000_000)
+        net.attach(a, seg)
+        net.attach(b, seg)
+        net.finalize()
+        for i in range(120):
+            net.sim.at(i * 0.01, lambda: a.ip_send(
+                udp_packet(a.address, b.address, 1, 2, b"x" * 972)))
+        net.run(until=1.2)
+        # 100 kB/s ~ 800 kbit/s over the 1-second window
+        assert 600 < seg.load_kbps() <= 1000
+
+
+class TestLoadMonitor:
+    def test_rate_over_window(self):
+        monitor = LoadMonitor(window=1.0, bucket=0.1)
+        for i in range(10):
+            monitor.record(i * 0.1, 1250)  # 12.5 kB over 1 s = 100 kbit/s
+        assert monitor.rate_kbps(1.0) == pytest.approx(100, abs=15)
+
+    def test_old_traffic_expires(self):
+        monitor = LoadMonitor(window=1.0)
+        monitor.record(0.0, 100_000)
+        assert monitor.bytes_in_window(0.5) == 100_000
+        assert monitor.bytes_in_window(5.0) == 0
+
+    def test_totals_accumulate(self):
+        monitor = LoadMonitor()
+        monitor.record(0.0, 10)
+        monitor.record(9.0, 20)
+        assert monitor.total_bytes == 30
+        assert monitor.total_packets == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadMonitor(window=0)
+        with pytest.raises(ValueError):
+            LoadMonitor(window=1.0, bucket=2.0)

@@ -1,0 +1,162 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.net.sim import PeriodicTask, SerialResource, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until_stops_and_pins_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run(until=20.0)
+        assert log == [1, 10]
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: sim.at(3.0, lambda: seen.append(
+            sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(1.0, lambda: log.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_rng_seeded(self):
+        a = Simulator(seed=5).rng.random()
+        b = Simulator(seed=5).rng.random()
+        assert a == b
+
+    def test_run_until_idle_guards_runaway(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="converge"):
+            sim.run_until_idle(max_events=100)
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_start_offset(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), start=2.0)
+        sim.run(until=4.5)
+        assert ticks == [2.0, 3.0, 4.0]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=2.0)
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.5, task.stop)
+        sim.run(until=5.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)
+
+
+class TestSerialResource:
+    def test_zero_cost_is_synchronous(self):
+        sim = Simulator()
+        cpu = SerialResource(sim, per_item_s=0.0)
+        log = []
+        cpu.submit(lambda: log.append(sim.now))
+        assert log == [0.0]
+
+    def test_items_serialize(self):
+        sim = Simulator()
+        cpu = SerialResource(sim, per_item_s=1.0)
+        done = []
+        cpu.submit(lambda: done.append(sim.now))
+        cpu.submit(lambda: done.append(sim.now))
+        cpu.submit(lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0, 3.0]
+
+    def test_backlog_reported(self):
+        sim = Simulator()
+        cpu = SerialResource(sim, per_item_s=2.0)
+        cpu.submit(lambda: None)
+        cpu.submit(lambda: None)
+        assert cpu.backlog_s == pytest.approx(4.0)
+
+    def test_idle_gap_resets(self):
+        sim = Simulator()
+        cpu = SerialResource(sim, per_item_s=1.0)
+        done = []
+        cpu.submit(lambda: done.append(sim.now))
+        sim.schedule(10.0, lambda: cpu.submit(
+            lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [1.0, 11.0]

@@ -1,0 +1,88 @@
+"""Packet tracer tests."""
+
+from repro.net import Network
+from repro.net.packet import udp_packet
+from repro.net.trace import EventKind, PacketTracer
+
+
+def traced_line():
+    net = Network(seed=5)
+    a = net.add_host("a")
+    r = net.add_router("r")
+    b = net.add_host("b")
+    net.link(a, r)
+    net.link(r, b)
+    net.finalize()
+    tracer = PacketTracer(net)
+    tracer.attach_all()
+    return net, a, r, b, tracer
+
+
+class TestTracing:
+    def test_records_path_across_nodes(self):
+        net, a, r, b, tracer = traced_line()
+        packet = udp_packet(a.address, b.address, 1, 2, b"x")
+        a.ip_send(packet)
+        net.run()
+        assert tracer.packet_path(packet.uid) == ["r", "b"]
+
+    def test_deliver_event_recorded(self):
+        net, a, r, b, tracer = traced_line()
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        ups = tracer.filter(node="b")
+        assert any(e.kind is EventKind.DELIVER for e in ups)
+
+    def test_filter_by_proto(self):
+        net, a, r, b, tracer = traced_line()
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        conn = net.tcp(a)
+        net.tcp(b).listen(80, lambda c: None)
+        conn.connect(b.address, 80)
+        net.run(until=2.0)
+        assert tracer.filter(proto="udp")
+        assert tracer.filter(proto="tcp")
+        assert all(e.proto == "tcp" for e in tracer.filter(proto="tcp"))
+
+    def test_render_is_readable(self):
+        net, a, r, b, tracer = traced_line()
+        a.ip_send(udp_packet(a.address, b.address, 7, 9, b"x"))
+        net.run()
+        text = tracer.render()
+        assert "7->9" in text
+        assert "-> " in text and "ms" in text
+
+    def test_render_limit(self):
+        net, a, r, b, tracer = traced_line()
+        for _ in range(5):
+            a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        assert len(tracer.render(limit=3).splitlines()) == 3
+
+    def test_truncation_guard(self):
+        net, a, r, b, tracer = traced_line()
+        tracer.max_events = 2
+        for _ in range(5):
+            a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        assert tracer.truncated
+        assert "truncated" in tracer.render()
+
+    def test_tcp_flags_described(self):
+        net, a, r, b, tracer = traced_line()
+        net.tcp(b).listen(80, lambda c: None)
+        net.tcp(a).connect(b.address, 80)
+        net.run(until=1.0)
+        syns = tracer.filter(proto="tcp",
+                             predicate=lambda e: "[S]" in e.info)
+        assert syns
+
+    def test_double_attach_is_idempotent(self):
+        net, a, r, b, tracer = traced_line()
+        tracer.attach(r)  # second time
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        rx_at_r = tracer.filter(node="r",
+                                predicate=lambda e:
+                                e.kind is EventKind.RECEIVE)
+        assert len(rx_at_r) == 1

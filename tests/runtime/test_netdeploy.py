@@ -1,0 +1,135 @@
+"""Network-based ASP deployment tests (paper §5 extension)."""
+
+import pytest
+
+from repro.net import Network
+from repro.net.packet import tcp_packet
+from repro.runtime.netdeploy import (CHUNK_BYTES, DeploymentManager,
+                                     DeploymentService)
+
+FORWARD = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+           "(OnRemote(network, p); (ps + 1, ss))")
+
+BAD = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+       "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+
+
+def managed_net(n_routers=1):
+    net = Network(seed=41)
+    admin = net.add_host("admin")
+    routers = [net.add_router(f"r{i}") for i in range(n_routers)]
+    endpoint = net.add_host("endpoint")
+    previous = admin
+    for router in routers:
+        net.link(previous, router, bandwidth=100e6)
+        previous = router
+    net.link(previous, endpoint, bandwidth=100e6)
+    net.finalize()
+    services = [DeploymentService(net, r) for r in routers]
+    manager = DeploymentManager(net, admin)
+    return net, admin, routers, endpoint, services, manager
+
+
+class TestPush:
+    def test_single_node_install(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        xfer = manager.push(FORWARD, [routers[0].address])
+        net.run(until=1.0)
+        assert manager.all_ok(xfer)
+        assert services[0].installed == [xfer]
+        status = manager.status(xfer)[routers[0].address]
+        assert status.codegen_ms is not None
+
+    def test_installed_program_processes_traffic(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        manager.push(FORWARD, [routers[0].address])
+        net.run(until=1.0)
+        got = []
+        endpoint.delivery_taps.append(lambda p: got.append(p))
+        admin.ip_send(tcp_packet(admin.address, endpoint.address, 5, 80,
+                                 b"x"))
+        net.run(until=2.0)
+        assert len(got) == 1
+        assert routers[0].planp.stats.packets_processed == 1
+
+    def test_multi_node_push(self):
+        net, admin, routers, endpoint, services, manager = \
+            managed_net(n_routers=3)
+        xfer = manager.push(FORWARD,
+                            [r.address for r in routers])
+        net.run(until=1.0)
+        assert manager.all_ok(xfer)
+        assert all(s.installed == [xfer] for s in services)
+
+    def test_multi_chunk_source(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        # Pad the program with comments so it spans several chunks.
+        padding = "\n".join(f"-- padding line {i} {'x' * 60}"
+                            for i in range(40))
+        source = padding + "\n" + FORWARD
+        assert len(source.encode()) > 2 * CHUNK_BYTES
+        xfer = manager.push(source, [routers[0].address])
+        net.run(until=1.0)
+        assert manager.all_ok(xfer)
+
+
+class TestRejection:
+    def test_unsafe_program_rejected_remotely(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        xfer = manager.push(BAD, [routers[0].address])
+        net.run(until=1.0)
+        status = manager.status(xfer)[routers[0].address]
+        assert status.ok is False
+        assert "duplication" in status.detail or "exponential" in \
+            status.detail
+        assert services[0].rejected
+        assert routers[0].planp.loaded is None
+
+    def test_unsafe_program_with_privilege(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        xfer = manager.push(BAD, [routers[0].address], verify=False)
+        net.run(until=1.0)
+        assert manager.all_ok(xfer)
+
+    def test_syntax_error_rejected(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        xfer = manager.push("channel oops(", [routers[0].address])
+        net.run(until=1.0)
+        status = manager.status(xfer)[routers[0].address]
+        assert status.ok is False
+
+    def test_commit_without_begin_rejected(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock = net.udp(admin).bind()
+        replies = []
+        sock.on_datagram = lambda d, s, p: replies.append(d)
+        sock.sendto(routers[0].address, 9900, b"COMMIT ghost")
+        net.run(until=1.0)
+        assert replies and replies[0].startswith(b"REJ ghost")
+
+    def test_incomplete_transfer_rejected(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock = net.udp(admin).bind()
+        replies = []
+        sock.on_datagram = lambda d, s, p: replies.append(d)
+        sock.sendto(routers[0].address, 9900, b"BEGIN t1 3 closure 1")
+        sock.sendto(routers[0].address, 9900, b"CHUNK t1 0\nval")
+        sock.sendto(routers[0].address, 9900, b"COMMIT t1")
+        net.run(until=1.0)
+        assert replies and b"incomplete" in replies[0]
+
+
+class TestReconfiguration:
+    def test_push_replaces_previous_program(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        counting = FORWARD
+        dropping_udp = (
+            "channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+            "(deliver(p); (ps + 10, ss))")
+        manager.push(counting, [routers[0].address])
+        net.run(until=1.0)
+        first = routers[0].planp.loaded
+        manager.push(dropping_udp, [routers[0].address])
+        net.run(until=2.0)
+        assert routers[0].planp.loaded is not first
+        assert routers[0].planp.protocol_state == 0  # state reset

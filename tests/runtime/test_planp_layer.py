@@ -1,0 +1,205 @@
+"""PLAN-P layer tests: installation, dispatch, emission, robustness."""
+
+import pytest
+
+from repro.lang import VerificationError
+from repro.net import Network
+from repro.net.packet import tcp_packet, udp_packet
+from repro.runtime import Deployment, PlanPLayer
+
+FORWARD = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+           "(OnRemote(network, p); (ps + 1, ss))")
+
+COUNTING_UDP = (
+    "channel network(ps : int, ss : unit, p : ip*udp*blob) is "
+    "(OnRemote(network, p); (ps + 1, ss))")
+
+
+def router_between():
+    """a -- r -- b with a PLAN-P layer on r."""
+    net = Network(seed=5)
+    a = net.add_host("a")
+    r = net.add_router("r")
+    b = net.add_host("b")
+    net.link(a, r)
+    net.link(r, b)
+    net.finalize()
+    layer = PlanPLayer(r)
+    return net, a, r, b, layer
+
+
+class TestInstall:
+    def test_install_compiles_and_initialises(self):
+        net, a, r, b, layer = router_between()
+        loaded = layer.install(FORWARD, backend="closure")
+        assert layer.engine is loaded.engine
+        assert layer.protocol_state == 0
+
+    def test_install_rejects_unsafe_program(self):
+        net, a, r, b, layer = router_between()
+        bad = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+        with pytest.raises(VerificationError):
+            layer.install(bad)
+        assert layer.loaded is None
+
+    def test_verify_false_bypasses(self):
+        net, a, r, b, layer = router_between()
+        bad = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+        layer.install(bad, verify=False)
+        assert layer.loaded is not None
+
+    def test_uninstall(self):
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD)
+        layer.uninstall()
+        packet = tcp_packet(a.address, b.address, 1, 80, b"x")
+        assert not layer.wants(packet, None)
+
+    @pytest.mark.parametrize("backend", ["interpreter", "closure",
+                                         "source"])
+    def test_all_backends_forward_traffic(self, backend):
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD, backend=backend)
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert len(got) == 1
+        assert layer.stats.packets_processed == 1
+
+
+class TestDispatch:
+    def test_unmatched_packets_use_standard_path(self):
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD)  # matches TCP only
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"u"))
+        net.run()
+        assert len(got) == 1
+        assert layer.stats.packets_processed == 0
+        assert r.stats.forwarded == 1
+
+    def test_overload_dispatch_by_payload_shape(self):
+        src = """
+channel network(ps : int, ss : unit, p : ip*udp*host*int) is
+  (deliver(p); (ps + 100, ss))
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+"""
+        net, a, r, b, layer = router_between()
+        layer.install(src)
+        # 8-byte payload -> host*int overload; other sizes -> blob.
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, bytes(8)))
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, bytes(3)))
+        net.run()
+        assert layer.protocol_state == 101
+
+    def test_channel_tagged_packet_dispatch(self):
+        src = """
+channel mine(ps : int, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps + 1, ss))
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(mine, p); (ps, ss))
+"""
+        net, a, r, b, layer = router_between()
+        layer.install(src)
+        layer_b = PlanPLayer(b)
+        layer_b.install(src)
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"v"))
+        net.run()
+        # r tags the packet for 'mine'; b's layer dispatches to it.
+        assert layer_b.protocol_state == 1
+        assert b.stats.delivered == 1
+
+    def test_promiscuous_host_sees_others_traffic(self):
+        net = Network(seed=5)
+        a, b, w = (net.add_host(n) for n in "abw")
+        seg = net.segment("lan")
+        for h in (a, b, w):
+            net.attach(h, seg)
+        net.finalize()
+        watcher = PlanPLayer(w, promiscuous=True)
+        watcher.install(COUNTING_UDP)
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        assert watcher.protocol_state == 1
+        # The original still reaches b exactly once.
+        assert b.stats.delivered == 1
+
+    def test_non_promiscuous_host_does_not(self):
+        net = Network(seed=5)
+        a, b, w = (net.add_host(n) for n in "abw")
+        seg = net.segment("lan")
+        for h in (a, b, w):
+            net.attach(h, seg)
+        net.finalize()
+        watcher = PlanPLayer(w)
+        watcher.install(COUNTING_UDP)
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        assert watcher.protocol_state == 0
+
+
+class TestRobustness:
+    def test_runtime_error_falls_back_to_standard(self):
+        # Unverified program that raises on every packet.
+        src = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+               "(OnRemote(network, p); (blobByte(#3 p, 999), ss))")
+        net, a, r, b, layer = router_between()
+        layer.install(src, verify=False)
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert layer.stats.runtime_errors == 1
+        assert len(got) == 1  # packet survived via standard forwarding
+
+    def test_cpu_model_delays_processing(self):
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD)
+        layer.cpu.per_item_s = 0.5
+        arrivals = []
+        b.delivery_taps.append(lambda p: arrivals.append(net.sim.now))
+        for _ in range(3):
+            a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert len(arrivals) == 3
+        assert arrivals[-1] > 1.4  # three packets serialized at 0.5 s
+
+    def test_console_output_captured(self):
+        src = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+               '(print("seen"); OnRemote(network, p); (ps, ss))')
+        net, a, r, b, layer = router_between()
+        layer.install(src)
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert layer.console == ["seen"]
+
+
+class TestDeployment:
+    def test_install_on_many_nodes(self):
+        net, a, r, b, _layer = router_between()
+        deployment = Deployment()
+        record = deployment.install(FORWARD, [r, b], source_name="fw")
+        assert record.nodes == ["r", "b"]
+        assert set(record.codegen_ms) == {"r", "b"}
+        assert record.report is not None and record.report.passed
+
+    def test_rejected_program_touches_no_node(self):
+        net, a, r, b, _layer = router_between()
+        deployment = Deployment()
+        bad = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+               "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+        with pytest.raises(VerificationError):
+            deployment.install(bad, [r, b])
+        assert r.planp.loaded is None
+
+    def test_uninstall_all(self):
+        net, a, r, b, _layer = router_between()
+        deployment = Deployment()
+        deployment.install(FORWARD, [r])
+        deployment.uninstall([r])
+        assert r.planp.loaded is None
