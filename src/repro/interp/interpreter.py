@@ -36,6 +36,15 @@ class Interpreter:
 
     # -- program-level evaluation ------------------------------------------------
 
+    def on_install(self, ctx: ExecutionContext) -> None:
+        """(Re)installation hook: forget the cached globals env.
+
+        Top-level vals may read node state (``thisHost()``, clocks), so a
+        program moved to another node must re-evaluate them against the
+        new node's context instead of reading the first node's forever.
+        """
+        self._globals = None
+
     def globals_env(self, ctx: ExecutionContext) -> Env:
         """The environment of top-level ``val`` bindings.
 

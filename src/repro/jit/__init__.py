@@ -9,17 +9,22 @@ Two backends reproduce the paper's Tempo-generated JIT:
   analogue).
 """
 
-from .codegen import CompiledSourceEngine
-from .pipeline import (BACKENDS, Engine, LoadedProgram, count_source_lines,
+from .codegen import CompiledSourceEngine, SourceArtifact
+from .pipeline import (BACKENDS, PROGRAM_CACHE, CacheStats, Engine,
+                       LoadedProgram, ProgramCache, count_source_lines,
                        load_program, make_engine)
 from .specializer import ClosureEngine
 
 __all__ = [
     "BACKENDS",
+    "PROGRAM_CACHE",
+    "CacheStats",
     "ClosureEngine",
     "CompiledSourceEngine",
     "Engine",
     "LoadedProgram",
+    "ProgramCache",
+    "SourceArtifact",
     "count_source_lines",
     "load_program",
     "make_engine",

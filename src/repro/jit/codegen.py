@@ -11,11 +11,19 @@ download time, per node, and embeds resolved primitive references.
 The translation is statement-based A-normal form: every PLAN-P
 expression becomes a Python expression where possible, with ``if``/
 ``let``/``try`` lowered to statements assigning a fresh temporary.
+
+Emission and bytecode compilation depend only on the checked program,
+not on the downloading node, so they are split out as a
+:class:`SourceArtifact` that the content-addressed program cache
+(:mod:`repro.jit.pipeline`) shares across nodes; only global-``val``
+evaluation and the final ``exec`` happen per node.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
+from types import CodeType
 from typing import Callable
 
 from ..lang import ast
@@ -49,6 +57,14 @@ def _mangle(name: str) -> str:
     return name.replace("'", "_prime_")
 
 
+def _channel_fn_name(decl: ast.ChannelDecl, index: int) -> str:
+    return f"C_{decl.name}_{index}"
+
+
+def _init_fn_name(decl: ast.ChannelDecl, index: int) -> str:
+    return f"I_{decl.name}_{index}"
+
+
 class _Emitter:
     """Accumulates generated Python source with indentation."""
 
@@ -69,94 +85,58 @@ class _Emitter:
         return "\n".join(self.lines) + "\n"
 
 
-class CompiledSourceEngine:
-    """A program compiled to Python source, then to CPython bytecode."""
+@dataclass
+class SourceArtifact:
+    """The node-independent output of code generation.
 
-    backend_name = "source"
+    Channel/init function names are derived deterministically from the
+    program's channel order, so any engine built over the same checked
+    program can bind them after ``exec``-ing ``code``.
+    """
 
-    def __init__(self, info: ProgramInfo, ctx: ExecutionContext):
+    generated_source: str
+    code: CodeType
+    host_constants: dict[str, HostAddr]
+
+
+def generate_source_artifact(info: ProgramInfo) -> SourceArtifact:
+    """Emit and bytecode-compile a checked program (no node context)."""
+    return _CodeGenerator(info).build()
+
+
+class _CodeGenerator:
+    """Translates a checked program to Python source (pure function of
+    the program: global ``val`` references become ``G_*`` names resolved
+    from the module namespace at run time)."""
+
+    def __init__(self, info: ProgramInfo):
         self._info = info
         self._temp = 0
-        self._globals: dict[str, object] = {}
+        self._global_names = {decl.name for decl in info.program.vals}
         self._host_constants: dict[str, HostAddr] = {}
-        self._channel_fns: dict[int, Callable] = {}
-        self._init_fns: dict[int, Callable] = {}
-        self.generated_source = ""
-        self._compile_program(ctx)
 
-    # -- engine interface ----------------------------------------------------
-
-    def initial_channel_state(self, decl: ast.ChannelDecl,
-                              ctx: ExecutionContext) -> object:
-        fn = self._init_fns.get(id(decl))
-        if fn is None:
-            return default_value(decl.channel_state_type)
-        return fn(ctx)
-
-    def run_channel(self, decl: ast.ChannelDecl, protocol_state: object,
-                    channel_state: object, packet_value: tuple,
-                    ctx: ExecutionContext) -> tuple[object, object]:
-        result = self._channel_fns[id(decl)](
-            ctx, protocol_state, channel_state, packet_value)
-        return result[0], result[1]
-
-    # -- compilation -------------------------------------------------------------
-
-    def _compile_program(self, ctx: ExecutionContext) -> None:
-        interp = Interpreter(self._info)
-        genv = Env()
-        for decl in self._info.program.vals:
-            value = interp.eval(decl.value, genv, ctx)
-            genv.bind(decl.name, value)
-            self._globals[decl.name] = value
-
+    def build(self) -> SourceArtifact:
         emitter = _Emitter()
-
         for name, fun in self._info.funs.items():
             self._emit_function(
                 emitter, f"F_{_mangle(name)}",
                 ["ctx"] + [f"L_{_mangle(p.name)}" for p in fun.decl.params],
                 fun.decl.body)
 
-        channel_names: dict[int, str] = {}
         for i, decl in enumerate(self._info.all_channels()):
-            fn_name = f"C_{decl.name}_{i}"
-            channel_names[id(decl)] = fn_name
             self._emit_function(
-                emitter, fn_name,
+                emitter, _channel_fn_name(decl, i),
                 ["ctx"] + [f"L_{_mangle(p.name)}" for p in decl.params],
                 decl.body)
             if decl.initstate is not None:
-                self._emit_function(emitter, f"I_{decl.name}_{i}", ["ctx"],
-                                    decl.initstate)
+                self._emit_function(emitter, _init_fn_name(decl, i),
+                                    ["ctx"], decl.initstate)
 
-        self.generated_source = emitter.source()
-        namespace = self._runtime_namespace()
-        code = compile(self.generated_source, f"<planp-jit "
+        source = emitter.source()
+        code = compile(source, f"<planp-jit "
                        f"{self._info.program.source_name}>", "exec")
-        exec(code, namespace)
-
-        for i, decl in enumerate(self._info.all_channels()):
-            self._channel_fns[id(decl)] = namespace[channel_names[id(decl)]]
-            if decl.initstate is not None:
-                self._init_fns[id(decl)] = namespace[f"I_{decl.name}_{i}"]
-
-    def _runtime_namespace(self) -> dict[str, object]:
-        """Names visible to the generated module: resolved primitives,
-        global constants and the small run-time support surface."""
-        namespace: dict[str, object] = {
-            "UNIT": UNIT,
-            "values_equal": values_equal,
-            "sml_div": _sml_div,
-            "planp_raise": _planp_raise,
-            "PlanPRuntimeError": PlanPRuntimeError,
-        }
-        for name, prim in PRIMITIVES.items():
-            namespace[f"P_{name}"] = prim.impl
-        for name, value in self._globals.items():
-            namespace[f"G_{_mangle(name)}"] = value
-        namespace.update(self._host_constants)
-        return namespace
+        return SourceArtifact(generated_source=source, code=code,
+                              host_constants=dict(self._host_constants))
 
     def _emit_function(self, emitter: _Emitter, fn_name: str,
                        params: list[str], body: ast.Expr) -> None:
@@ -210,7 +190,7 @@ class CompiledSourceEngine:
             self._host_constants[key] = HostAddr.parse(expr.value)
             return key
         if kind is ast.Var:
-            if expr.name in self._globals:
+            if expr.name in self._global_names:
                 return f"G_{_mangle(expr.name)}"
             return f"L_{_mangle(expr.name)}"
         if kind is ast.BinOp:
@@ -337,3 +317,81 @@ class CompiledSourceEngine:
             fn = f"F_{_mangle(name)}"
             return f"{fn}(ctx, {', '.join(args)})" if args else f"{fn}(ctx)"
         return f"P_{name}(ctx, ({', '.join(args)}{',' if args else ''}))"
+
+
+class CompiledSourceEngine:
+    """A program compiled to Python source, then to CPython bytecode.
+
+    When ``artifact`` is supplied (by the program cache), instantiation
+    skips emission and bytecode compilation entirely: it evaluates this
+    node's globals and ``exec``-binds the shared code object.
+    """
+
+    backend_name = "source"
+
+    def __init__(self, info: ProgramInfo, ctx: ExecutionContext,
+                 artifact: SourceArtifact | None = None):
+        self._info = info
+        if artifact is None:
+            artifact = generate_source_artifact(info)
+        self.artifact = artifact
+        self.generated_source = artifact.generated_source
+        self._globals: dict[str, object] = {}
+        self._channel_fns: dict[int, Callable] = {}
+        self._init_fns: dict[int, Callable] = {}
+        self._instantiate(ctx)
+
+    # -- engine interface ----------------------------------------------------
+
+    def initial_channel_state(self, decl: ast.ChannelDecl,
+                              ctx: ExecutionContext) -> object:
+        fn = self._init_fns.get(id(decl))
+        if fn is None:
+            return default_value(decl.channel_state_type)
+        return fn(ctx)
+
+    def run_channel(self, decl: ast.ChannelDecl, protocol_state: object,
+                    channel_state: object, packet_value: tuple,
+                    ctx: ExecutionContext) -> tuple[object, object]:
+        result = self._channel_fns[id(decl)](
+            ctx, protocol_state, channel_state, packet_value)
+        return result[0], result[1]
+
+    # -- per-node instantiation --------------------------------------------------
+
+    def _instantiate(self, ctx: ExecutionContext) -> None:
+        # Globals are evaluated once with the interpreter (they run once,
+        # so interpreting them is what the paper's run-time system does
+        # before specialising the packet path) — per node, because they
+        # may read node state.
+        interp = Interpreter(self._info)
+        genv = Env()
+        for decl in self._info.program.vals:
+            value = interp.eval(decl.value, genv, ctx)
+            genv.bind(decl.name, value)
+            self._globals[decl.name] = value
+
+        namespace = self._runtime_namespace()
+        exec(self.artifact.code, namespace)
+
+        for i, decl in enumerate(self._info.all_channels()):
+            self._channel_fns[id(decl)] = namespace[_channel_fn_name(decl, i)]
+            if decl.initstate is not None:
+                self._init_fns[id(decl)] = namespace[_init_fn_name(decl, i)]
+
+    def _runtime_namespace(self) -> dict[str, object]:
+        """Names visible to the generated module: resolved primitives,
+        global constants and the small run-time support surface."""
+        namespace: dict[str, object] = {
+            "UNIT": UNIT,
+            "values_equal": values_equal,
+            "sml_div": _sml_div,
+            "planp_raise": _planp_raise,
+            "PlanPRuntimeError": PlanPRuntimeError,
+        }
+        for name, prim in PRIMITIVES.items():
+            namespace[f"P_{name}"] = prim.impl
+        for name, value in self._globals.items():
+            namespace[f"G_{_mangle(name)}"] = value
+        namespace.update(self.artifact.host_constants)
+        return namespace

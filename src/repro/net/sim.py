@@ -22,18 +22,21 @@ class _Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: popped from the queue (ran or was swept); cancelling is a no-op
+    done: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by ``schedule``; allows cancelling a pending event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._sim._cancel(self._event)
 
     @property
     def cancelled(self) -> bool:
@@ -44,8 +47,21 @@ class EventHandle:
         return self._event.time
 
 
+#: Queues smaller than this are never compacted (the sweep would cost
+#: more than the garbage it reclaims).
+_COMPACT_MIN_QUEUE = 64
+
+
 class Simulator:
-    """A single-threaded event loop over simulated time."""
+    """A single-threaded event loop over simulated time.
+
+    Cancelled events are deleted lazily: cancelling only flags the entry,
+    and the flagged entries are either skipped when popped or swept out
+    wholesale once they outnumber the live ones (so long runs that cancel
+    many timers — TCP retransmits, periodic tasks — don't accumulate
+    garbage in the heap).  Live/cancelled counts are maintained
+    incrementally, making :attr:`pending_events` O(1).
+    """
 
     def __init__(self, seed: int = 0):
         self._queue: list[_Event] = []
@@ -53,6 +69,8 @@ class Simulator:
         self.now = 0.0
         self.rng = random.Random(seed)
         self.events_processed = 0
+        self._live = 0
+        self._cancelled = 0
 
     def schedule(self, delay: float,
                  fn: Callable[[], None]) -> EventHandle:
@@ -61,7 +79,41 @@ class Simulator:
             raise ValueError(f"negative delay {delay}")
         event = _Event(self.now + delay, next(self._seq), fn)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
+
+    # -- lazy deletion -----------------------------------------------------------
+
+    def _cancel(self, event: _Event) -> None:
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._cancelled += 1
+        if (len(self._queue) >= _COMPACT_MIN_QUEUE
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep cancelled entries out of the heap and re-heapify."""
+        for event in self._queue:
+            if event.cancelled:
+                event.done = True
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def _pop(self) -> _Event | None:
+        """Pop the next live event (skipping cancelled ones), or None."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            event.done = True
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._live -= 1
+            return event
+        return None
 
     def at(self, when: float, fn: Callable[[], None]) -> EventHandle:
         """Run ``fn`` at absolute simulated time ``when``."""
@@ -82,11 +134,16 @@ class Simulator:
         """
         while self._queue:
             event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                event.done = True
+                self._cancelled -= 1
+                continue
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
+            event.done = True
+            self._live -= 1
             self.now = event.time
             self.events_processed += 1
             event.fn()
@@ -97,9 +154,9 @@ class Simulator:
         """Drain the queue completely (guarding against runaways)."""
         processed = 0
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
+            event = self._pop()
+            if event is None:
+                break
             self.now = event.time
             self.events_processed += 1
             event.fn()
@@ -111,7 +168,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (not-yet-run, not-cancelled) events — O(1)."""
+        return self._live
 
 
 class PeriodicTask:

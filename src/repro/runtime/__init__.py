@@ -1,6 +1,7 @@
 """The PLAN-P run-time system: node layer, wire codec, deployment."""
 
-from .codec import CodecError, decode, encode, matches, packet_views
+from .codec import (CodecError, DispatchPlan, decode, dispatch_plan, encode,
+                    make_decoder, matches, packet_views)
 from .deployment import Deployment, DeploymentRecord
 from .netdeploy import DeploymentManager, DeploymentService, PushStatus
 from .planp_layer import PlanPLayer, PlanPStats
@@ -11,11 +12,14 @@ __all__ = [
     "DeploymentRecord",
     "DeploymentManager",
     "DeploymentService",
+    "DispatchPlan",
     "PushStatus",
     "PlanPLayer",
     "PlanPStats",
     "decode",
+    "dispatch_plan",
     "encode",
+    "make_decoder",
     "matches",
     "packet_views",
 ]

@@ -73,6 +73,97 @@ def matches(packet: Packet, packet_type: T.TupleType) -> bool:
     return True
 
 
+class DispatchPlan:
+    """Everything dispatch needs to know about one channel's packet type,
+    computed once (at install time) instead of per packet.
+
+    A packet matches iff its transport header is an instance of
+    ``transport_cls`` (``type(None)`` for raw) and its payload length
+    fits ``fixed``/``has_tail``; ``decode`` then builds the packet value
+    with all view offsets precomputed.
+    """
+
+    __slots__ = ("transport_cls", "fixed", "has_tail", "decode")
+
+    def __init__(self, transport_cls: type, fixed: int, has_tail: bool,
+                 decode):
+        self.transport_cls = transport_cls
+        self.fixed = fixed
+        self.has_tail = has_tail
+        self.decode = decode
+
+    def admits(self, payload_len: int) -> bool:
+        if self.has_tail:
+            return payload_len >= self.fixed
+        return payload_len == self.fixed
+
+
+def _view_steps(views: list[T.Type]) -> list:
+    """One closure per payload view, offset baked in."""
+    steps = []
+    offset = 0
+    for view in views:
+        if view == T.BLOB:
+            steps.append(lambda payload, o=offset: payload[o:])
+        elif view == T.STRING:
+            steps.append(
+                lambda payload, o=offset: payload[o:].decode("latin-1"))
+        elif view == T.CHAR:
+            steps.append(lambda payload, o=offset: chr(payload[o]))
+            offset += 1
+        elif view == T.BOOL:
+            steps.append(lambda payload, o=offset: payload[o] != 0)
+            offset += 1
+        elif view == T.INT:
+            steps.append(lambda payload, o=offset: int.from_bytes(
+                payload[o:o + 4], "big", signed=True))
+            offset += 4
+        elif view == T.HOST:
+            steps.append(lambda payload, o=offset: HostAddr(int.from_bytes(
+                payload[o:o + 4], "big")))
+            offset += 4
+    return steps
+
+
+def make_decoder(packet_type: T.TupleType):
+    """Compile ``decode(packet, packet_type)`` down to a closure with the
+    view walk and all offsets resolved ahead of time."""
+    transport, views = packet_views(packet_type)
+    steps = _view_steps(views)
+    if transport is None:
+        def decode_raw(packet: Packet) -> tuple:
+            payload = packet.payload
+            return (packet.ip, *(step(payload) for step in steps))
+
+        return decode_raw
+
+    def decode_transport(packet: Packet) -> tuple:
+        payload = packet.payload
+        return (packet.ip, packet.transport,
+                *(step(payload) for step in steps))
+
+    return decode_transport
+
+
+def dispatch_plan(packet_type: T.TupleType) -> DispatchPlan | None:
+    """The precomputed matcher+decoder for a channel's packet type, or
+    ``None`` if the layout is malformed (such a channel never matches)."""
+    try:
+        transport, views = packet_views(packet_type)
+    except CodecError:
+        return None
+    if transport == T.TCP:
+        transport_cls: type = TcpHeader
+    elif transport == T.UDP:
+        transport_cls = UdpHeader
+    else:
+        transport_cls = type(None)
+    fixed = sum(_FIXED_SIZES.get(v, 0) for v in views)
+    has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
+    return DispatchPlan(transport_cls, fixed, has_tail,
+                        make_decoder(packet_type))
+
+
 def decode(packet: Packet, packet_type: T.TupleType) -> tuple:
     """Build the PLAN-P packet value a channel receives."""
     transport, views = packet_views(packet_type)

@@ -5,14 +5,20 @@ nodes — routers and end hosts alike — compiling per node (the paper's
 run-time specialization happens at each downloading node).  It records
 the verification report so operators can audit why a program was accepted
 or rejected.
+
+All front-end work goes through the content-addressed
+:class:`~repro.jit.pipeline.ProgramCache`: an N-node install parses,
+type checks and verifies the source exactly once, and per node only the
+node-dependent remainder of compilation runs.  The record keeps the
+cache hit/miss delta so operators can see the amortization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.verifier import VerificationReport, verify_report
-from ..lang import parse, typecheck
+from ..analysis.verifier import VerificationReport
+from ..jit import pipeline
 from ..lang.errors import VerificationError
 from ..net.node import Node
 from .planp_layer import PlanPLayer
@@ -26,13 +32,24 @@ class DeploymentRecord:
     verified: bool
     report: VerificationReport | None
     codegen_ms: dict[str, float] = field(default_factory=dict)
+    #: content digest of the deployed source (the program-cache key)
+    source_sha: str = ""
+    #: program-cache hits/misses incurred by this install
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class Deployment:
     """Distributes ASPs across a simulated network."""
 
-    def __init__(self):
+    def __init__(self, cache: pipeline.ProgramCache | None = None):
         self.records: list[DeploymentRecord] = []
+        self._cache = cache
+
+    @property
+    def cache(self) -> pipeline.ProgramCache:
+        return self._cache if self._cache is not None \
+            else pipeline.PROGRAM_CACHE
 
     def layer_of(self, node: Node) -> PlanPLayer:
         """The node's PLAN-P layer (created on first use)."""
@@ -49,12 +66,13 @@ class Deployment:
         Raises :class:`VerificationError` (without touching any node) if
         verification is requested and fails.
         """
+        cache = self.cache
+        before = cache.stats.snapshot()
         # Front-end once, centrally: a rejected program reaches no node.
-        program = parse(source, source_name)
-        info = typecheck(program)
+        key, info = cache.frontend(source, source_name)
         report: VerificationReport | None = None
         if verify:
-            report = verify_report(info)
+            report = cache.verification(key, info)
             if not report.passed:
                 failure = report.failures[0]
                 raise VerificationError(
@@ -64,12 +82,17 @@ class Deployment:
         record = DeploymentRecord(source_name=source_name,
                                   nodes=[n.name for n in nodes],
                                   backend=backend, verified=verify,
-                                  report=report)
+                                  report=report, source_sha=key)
         for node in nodes:
             layer = self.layer_of(node)
-            loaded = layer.install(source, backend=backend, verify=False,
-                                   source_name=source_name)
+            loaded = pipeline.load_program(
+                source, backend=backend, verify=False, ctx=layer,
+                source_name=source_name, cache=cache)
+            layer.install_loaded(loaded)
             record.codegen_ms[node.name] = loaded.codegen_ms
+        after = cache.stats
+        record.cache_hits = after.total_hits - before.total_hits
+        record.cache_misses = after.total_misses - before.total_misses
         self.records.append(record)
         return record
 

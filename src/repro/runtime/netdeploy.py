@@ -13,11 +13,17 @@ Wire protocol (one datagram per message, text headers):
     manager -> node:  BEGIN <xfer> <n_chunks> <backend> <verify>
                       CHUNK <xfer> <index>\\n<raw source bytes>
                       COMMIT <xfer>
-    node -> manager:  OK <xfer> <codegen_ms>
+    node -> manager:  OK <xfer> <codegen_ms> [<cache_hit>]
                       REJ <xfer> <reason>
 
 Transfers are idempotent per ``<xfer>`` id; unknown or incomplete
 commits are rejected rather than guessed at.
+
+Nodes install through the content-addressed program cache
+(:data:`repro.jit.pipeline.PROGRAM_CACHE`), so pushing one ASP to N
+nodes runs the parse/type-check/verify front end once; the ``OK`` ack's
+trailing ``cache_hit`` flag (``1``/``0``) tells the manager which nodes
+amortized the download.
 """
 
 from __future__ import annotations
@@ -103,7 +109,8 @@ class DeploymentService:
             return
         self.installed.append(xfer)
         self._reply(src, src_port,
-                    f"OK {xfer} {loaded.codegen_ms:.3f}")
+                    f"OK {xfer} {loaded.codegen_ms:.3f} "
+                    f"{1 if loaded.cache_hit else 0}")
 
     def _reply(self, dst: HostAddr, dst_port: int, text: str) -> None:
         self._socket.sendto(dst, dst_port, text.encode("latin-1"))
@@ -117,6 +124,9 @@ class PushStatus:
     ok: bool | None = None   # None until acknowledged
     detail: str = ""
     codegen_ms: float | None = None
+    #: did the node's install reuse the program cache? (None if the ack
+    #: predates the flag)
+    cache_hit: bool | None = None
 
 
 class DeploymentManager:
@@ -174,7 +184,9 @@ class DeploymentManager:
         status = statuses[src]
         if verdict == "OK":
             status.ok = True
-            status.codegen_ms = float(parts[2]) if len(parts) > 2 \
+            fields = parts[2].split(" ") if len(parts) > 2 else []
+            status.codegen_ms = float(fields[0]) if fields else None
+            status.cache_hit = fields[1] == "1" if len(fields) > 1 \
                 else None
         else:
             status.ok = False

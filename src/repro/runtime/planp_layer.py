@@ -11,6 +11,14 @@ Dispatch rules (paper §2 and §2.3):
   packet type matches the wire packet;
 * unmatched packets fall through to standard IP processing.
 
+Steady-state dispatch takes a fast path precomputed at install time: a
+table keyed by (channel tag, transport-header class) maps straight to
+the candidate :class:`~repro.lang.ast.ChannelDecl`\\ s with their payload
+size constraints and prebuilt decoders, so classifying a packet is one
+dict lookup plus a length check instead of a structural type walk — and
+the decl matched in :meth:`PlanPLayer.wants` is carried into
+:meth:`PlanPLayer.process`, so each packet is matched exactly once.
+
 A verified program cannot raise at run time on any *delivered* path, but
 the layer still guards: if a channel invocation fails, the packet falls
 back to standard processing and the error is counted — an unverified
@@ -25,7 +33,7 @@ from ..interp.values import default_value
 from ..jit.pipeline import Engine, LoadedProgram, load_program
 from ..lang import ast
 from ..lang import types as T
-from ..lang.errors import PlanPError, PlanPRuntimeError
+from ..lang.errors import PlanPError
 from ..net.addresses import HostAddr
 from ..net.node import Interface, Node
 from ..net.packet import Packet
@@ -40,6 +48,20 @@ class PlanPStats:
     packets_delivered: int = 0
     packets_dropped: int = 0
     runtime_errors: int = 0
+    #: dispatch decisions answered by the precomputed match table
+    fastpath_dispatches: int = 0
+    #: dispatch decisions that fell back to the structural matcher
+    structural_dispatches: int = 0
+
+
+class _DispatchEntry:
+    """One channel overload in the fast-path match table."""
+
+    __slots__ = ("decl", "plan")
+
+    def __init__(self, decl: ast.ChannelDecl, plan: codec.DispatchPlan):
+        self.decl = decl
+        self.plan = plan
 
 
 class PlanPLayer:
@@ -65,6 +87,13 @@ class PlanPLayer:
         #: interface; new or modified packets route normally)
         self._arrival_iface: Interface | None = None
         self._arrival_packet: Packet | None = None
+        #: fast-path match table: (channel tag, transport-header class)
+        #: -> candidate entries in declaration order
+        self._dispatch: dict[tuple[str | None, type],
+                             list[_DispatchEntry]] | None = None
+        #: the match computed by wants(), carried into process() so a
+        #: packet is classified exactly once: (packet uid, hit | None)
+        self._carry: tuple[int, tuple | None] | None = None
 
     # -- program installation ---------------------------------------------------
 
@@ -85,17 +114,44 @@ class PlanPLayer:
     def install_loaded(self, loaded: LoadedProgram) -> None:
         self.loaded = loaded
         self.engine = loaded.engine
+        # (Re)installation hook: an engine moved from another node must
+        # drop node-bound state (the interpreter's cached globals env).
+        on_install = getattr(self.engine, "on_install", None)
+        if on_install is not None:
+            on_install(self)
         channels = loaded.info.all_channels()
         self.protocol_state = default_value(
             channels[0].protocol_state_type)
         self.channel_states = {
             id(decl): self.engine.initial_channel_state(decl, self)
             for decl in channels}
+        self._dispatch = self._build_dispatch_table(channels)
+        self._carry = None
+
+    def _build_dispatch_table(
+            self, channels: list[ast.ChannelDecl],
+    ) -> dict[tuple[str | None, type], list[_DispatchEntry]]:
+        """Precompute the packet-signature match table (once per
+        install, so per-packet dispatch does no structural matching)."""
+        table: dict[tuple[str | None, type], list[_DispatchEntry]] = {}
+        for decl in channels:
+            pkt_type = decl.packet_type
+            if not isinstance(pkt_type, T.TupleType):
+                continue
+            plan = codec.dispatch_plan(pkt_type)
+            if plan is None:  # malformed layout: never matches
+                continue
+            tag = None if decl.name == "network" else decl.name
+            table.setdefault((tag, plan.transport_cls),
+                             []).append(_DispatchEntry(decl, plan))
+        return table
 
     def uninstall(self) -> None:
         self.loaded = None
         self.engine = None
         self.channel_states = {}
+        self._dispatch = None
+        self._carry = None
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -118,25 +174,64 @@ class PlanPLayer:
                 return decl
         return None
 
+    def _lookup(self, packet: Packet) -> tuple | None:
+        """Classify a packet once: ``(decl, decoder | None)`` or None.
+
+        The fast path answers from the precomputed table; the structural
+        matcher only runs when no table exists (a program installed by
+        poking internals rather than :meth:`install_loaded`).
+        """
+        table = self._dispatch
+        if table is None:
+            self.stats.structural_dispatches += 1
+            decl = self._match(packet)
+            return None if decl is None else (decl, None)
+        entries = table.get((packet.channel, packet.transport.__class__))
+        if not entries:
+            return None
+        self.stats.fastpath_dispatches += 1
+        payload_len = len(packet.payload)
+        for entry in entries:
+            if entry.plan.admits(payload_len):
+                return entry.decl, entry.plan.decode
+        return None
+
     def wants(self, packet: Packet, iface: Interface | None) -> bool:
-        return self._match(packet) is not None
+        if self.loaded is None:
+            return False
+        hit = self._lookup(packet)
+        self._carry = (packet.uid, hit)
+        return hit is not None
 
     def process(self, packet: Packet, iface: Interface | None) -> None:
         """Run the matching channel on an arriving packet (through the
-        node's CPU model, if one is configured)."""
-        if self.cpu.per_item_s > 0:
-            self.cpu.submit(lambda: self._process_now(packet, iface))
-        else:
-            self._process_now(packet, iface)
+        node's CPU model, if one is configured).
 
-    def _process_now(self, packet: Packet,
-                     iface: Interface | None) -> None:
-        decl = self._match(packet)
-        if decl is None:  # pragma: no cover - wants() gates this
+        Reuses the match :meth:`wants` just computed for this packet, so
+        the wants()/process() pair classifies it exactly once.
+        """
+        carry = self._carry
+        if carry is not None and carry[0] == packet.uid:
+            hit = carry[1]
+            self._carry = None
+        else:
+            hit = self._lookup(packet)
+        if self.cpu.per_item_s > 0:
+            self.cpu.submit(lambda: self._process_now(packet, iface, hit))
+        else:
+            self._process_now(packet, iface, hit)
+
+    def _process_now(self, packet: Packet, iface: Interface | None,
+                     hit: tuple | None) -> None:
+        if hit is None:  # pragma: no cover - wants() gates this
             self.node.standard_processing(packet, iface)
             return
+        decl, decoder = hit
         assert self.engine is not None
-        value = codec.decode(packet, decl.packet_type)  # type: ignore[arg-type]
+        if decoder is not None:
+            value = decoder(packet)
+        else:
+            value = codec.decode(packet, decl.packet_type)  # type: ignore[arg-type]
         self.stats.packets_processed += 1
         self._arrival_iface = iface
         self._arrival_packet = packet

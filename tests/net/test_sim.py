@@ -91,6 +91,74 @@ class TestScheduling:
             sim.run_until_idle(max_events=100)
 
 
+class TestLazyDeletion:
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events == 6
+        sim.run(until=6.5)  # runs events at t=5..6 (0-3 cancelled)
+        assert sim.pending_events == 4
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        sim.run()
+        handle.cancel()
+        assert log == ["x"]
+        assert not handle.cancelled
+        assert sim.pending_events == 0
+
+    def test_compaction_sweeps_majority_cancelled_queue(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(100)]
+        for handle in handles[:60]:
+            handle.cancel()
+        # The sweep triggered once cancelled entries outnumbered live
+        # ones, physically shrinking the heap (it fired at the 51st
+        # cancel, so at most the post-sweep stragglers remain flagged).
+        assert sim.pending_events == 40
+        assert len(sim._queue) < 60
+        sim.run()
+        assert sim.events_processed == 40
+        assert sim.pending_events == 0
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        for handle in handles[:9]:
+            handle.cancel()
+        # Below the compaction floor the garbage just sits in the heap…
+        assert len(sim._queue) == 10
+        assert sim.pending_events == 1
+        # …and is skipped, not executed, when popped.
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_cancelled_events_never_fire_after_compaction(self):
+        sim = Simulator()
+        log = []
+        handles = [sim.schedule(float(i + 1), lambda i=i: log.append(i))
+                   for i in range(80)]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        assert log == list(range(1, 80, 2))
+
+
 class TestPeriodicTask:
     def test_fires_repeatedly(self):
         sim = Simulator()

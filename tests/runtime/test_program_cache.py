@@ -1,0 +1,195 @@
+"""Content-addressed program cache: one front-end pass per source,
+per-node engine instantiation, shared artifacts where safe."""
+
+import pytest
+
+from repro.jit import pipeline
+from repro.jit.pipeline import ProgramCache
+from repro.lang import VerificationError
+from repro.net import Network
+from repro.net.packet import tcp_packet
+from repro.runtime import Deployment
+from repro.runtime.netdeploy import DeploymentManager, DeploymentService
+
+FORWARD = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+           "(OnRemote(network, p); (ps + 1, ss))")
+
+WITH_VALS = ("val me : host = thisHost()\n" + FORWARD)
+
+BAD = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+       "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+
+
+def chain(n_routers):
+    net = Network(seed=7)
+    a = net.add_host("a")
+    routers = [net.add_router(f"r{i}") for i in range(n_routers)]
+    b = net.add_host("b")
+    previous = a
+    for router in routers:
+        net.link(previous, router)
+        previous = router
+    net.link(previous, b)
+    net.finalize()
+    return net, a, routers, b
+
+
+class TestDeploymentAmortization:
+    @pytest.mark.parametrize("backend", ["interpreter", "closure",
+                                         "source"])
+    def test_n_node_deploy_runs_frontend_once(self, backend):
+        """The headline property: deploying one ASP to N nodes parses
+        and verifies exactly once and instantiates N engines."""
+        n = 5
+        net, a, routers, b = chain(n)
+        cache = ProgramCache()
+        record = Deployment(cache=cache).install(
+            FORWARD, routers, backend=backend, source_name="fw")
+        # One central front-end pass (the miss); each of the N node
+        # loads then hits the cache.
+        assert cache.stats.frontend_misses == 1
+        assert cache.stats.frontend_hits == n
+        assert cache.stats.verify_misses == 1
+        assert cache.stats.verify_hits == 0  # verified centrally, once
+        assert cache.stats.loads == n
+        assert record.cache_hits == cache.stats.total_hits
+        assert record.source_sha == ProgramCache.digest(FORWARD)
+        # Every node got its own channel-state storage.
+        states = [id(r.planp.channel_states) for r in routers]
+        assert len(set(states)) == n
+
+    def test_deployed_nodes_all_process_traffic(self):
+        net, a, routers, b = chain(3)
+        Deployment(cache=ProgramCache()).install(FORWARD, routers,
+                                                 backend="source")
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert len(got) == 1
+        for router in routers:
+            assert router.planp.stats.packets_processed == 1
+            assert router.planp.protocol_state == 1
+
+    def test_rejection_cached_and_consistent(self):
+        cache = ProgramCache()
+        net, a, routers, b = chain(2)
+        deployment = Deployment(cache=cache)
+        with pytest.raises(VerificationError) as first:
+            deployment.install(BAD, routers)
+        with pytest.raises(VerificationError) as second:
+            deployment.install(BAD, routers)
+        assert cache.stats.verify_misses == 1
+        assert cache.stats.verify_hits == 1  # second verdict from cache
+        assert first.value.analysis == second.value.analysis
+        # Rejected centrally: no node even grew a PLAN-P layer.
+        assert all(r.planp is None or r.planp.loaded is None
+                   for r in routers)
+
+
+class TestArtifactSharing:
+    def test_val_free_closure_engine_is_shared(self):
+        """A program without top-level vals compiles to an immutable
+        closure engine, shared across nodes; mutable state stays in the
+        layer, so sharing is observation-safe."""
+        net, a, routers, b = chain(2)
+        cache = ProgramCache()
+        Deployment(cache=cache).install(FORWARD, routers,
+                                        backend="closure")
+        r0, r1 = routers
+        assert r0.planp.engine is r1.planp.engine
+        assert cache.stats.engine_misses == 1
+        assert cache.stats.engine_hits == 1
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert r0.planp.protocol_state == 1
+        assert r1.planp.protocol_state == 1
+
+    def test_closure_engine_with_vals_is_not_shared(self):
+        """thisHost() in a val bakes node identity into the closure
+        engine, so each node must get its own specialization."""
+        net, a, routers, b = chain(2)
+        cache = ProgramCache()
+        Deployment(cache=cache).install(WITH_VALS, routers,
+                                        backend="closure")
+        r0, r1 = routers
+        assert r0.planp.engine is not r1.planp.engine
+        assert cache.stats.engine_hits == 0
+
+    def test_source_artifact_reused_with_vals(self):
+        """The source backend's emitted module is ctx-independent even
+        with vals (globals resolve through a per-node namespace), so the
+        bytecode is compiled once and the engines differ per node."""
+        net, a, routers, b = chain(3)
+        cache = ProgramCache()
+        Deployment(cache=cache).install(WITH_VALS, routers,
+                                        backend="source")
+        r0, r1, r2 = routers
+        assert cache.stats.engine_misses == 1
+        assert cache.stats.engine_hits == 2
+        assert r0.planp.engine is not r1.planp.engine
+        assert r0.planp.engine.artifact is r1.planp.engine.artifact
+        assert r1.planp.engine.artifact is r2.planp.engine.artifact
+
+    def test_disabled_cache_shares_nothing(self):
+        net, a, routers, b = chain(2)
+        cache = ProgramCache(max_entries=0)
+        Deployment(cache=cache).install(FORWARD, routers,
+                                        backend="closure")
+        r0, r1 = routers
+        assert r0.planp.engine is not r1.planp.engine
+        assert cache.stats.frontend_hits == 0
+        # Central pass plus one full front end per node: all misses.
+        assert cache.stats.frontend_misses == 3
+
+    def test_fifo_eviction_bounds_entries(self):
+        cache = ProgramCache(max_entries=2)
+        sources = [f"-- v{i}\n{FORWARD}" for i in range(4)]
+        for source in sources:
+            cache.frontend(source)
+        assert len(cache._frontend) == 2
+        # Oldest entries were evicted; newest are present.
+        assert ProgramCache.digest(sources[3]) in cache._frontend
+        assert ProgramCache.digest(sources[0]) not in cache._frontend
+
+
+class TestLoadProgramFlags:
+    def test_cache_hit_flag(self):
+        cache = ProgramCache()
+        cold = pipeline.load_program(FORWARD, cache=cache)
+        warm = pipeline.load_program(FORWARD, cache=cache)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert cold.source_sha == warm.source_sha \
+            == ProgramCache.digest(FORWARD)
+
+    def test_default_cache_is_module_global(self):
+        pipeline.PROGRAM_CACHE.clear()
+        before = pipeline.PROGRAM_CACHE.stats.loads
+        pipeline.load_program(FORWARD)
+        assert pipeline.PROGRAM_CACHE.stats.loads == before + 1
+        pipeline.PROGRAM_CACHE.clear()
+
+
+class TestNetDeployCache:
+    def test_push_acks_carry_cache_hit_flag(self):
+        pipeline.PROGRAM_CACHE.clear()
+        net = Network(seed=41)
+        admin = net.add_host("admin")
+        routers = [net.add_router(f"r{i}") for i in range(4)]
+        endpoint = net.add_host("endpoint")
+        for router in routers:
+            net.link(admin, router, bandwidth=100e6)
+        net.link(routers[-1], endpoint, bandwidth=100e6)
+        net.finalize()
+        services = [DeploymentService(net, r) for r in routers]
+        manager = DeploymentManager(net, admin)
+        xfer = manager.push(FORWARD, [r.address for r in routers])
+        net.run(until=5.0)
+        assert manager.all_ok(xfer)
+        statuses = manager.status(xfer)
+        hits = [s.cache_hit for s in statuses.values()]
+        assert hits.count(False) == 1  # exactly one cold install
+        assert hits.count(True) == len(routers) - 1
+        assert all(s.installed == [xfer] for s in services)
+        pipeline.PROGRAM_CACHE.clear()
