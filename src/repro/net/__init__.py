@@ -1,6 +1,7 @@
 """The simulated network substrate (DESIGN.md §2: testbed substitution)."""
 
 from .addresses import ANY_ADDR, BROADCAST_ADDR, AddressAllocator, HostAddr, addr
+from .faults import FaultController
 from .link import Link, Segment
 from .monitor import LinkStats, LoadMonitor
 from .multicast import GroupManager
@@ -18,6 +19,7 @@ __all__ = [
     "ANY_ADDR",
     "BROADCAST_ADDR",
     "AddressAllocator",
+    "FaultController",
     "GroupManager",
     "Host",
     "HostAddr",

@@ -36,6 +36,7 @@ class _TxQueue:
         self.latency = latency
         self.queue_limit = queue_limit
         self.loss_rate = loss_rate
+        self.up = True
         self._deliver = deliver
         self._queue: list[tuple[Packet, "Interface"]] = []
         self._busy = False
@@ -43,6 +44,10 @@ class _TxQueue:
         self.monitor = LoadMonitor()
 
     def send(self, packet: Packet, sender: "Interface") -> None:
+        if not self.up:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return
         if len(self._queue) >= self.queue_limit:
             self.stats.packets_dropped += 1
             self.stats.bytes_dropped += packet.size
@@ -50,6 +55,25 @@ class _TxQueue:
         self._queue.append((packet, sender))
         if not self._busy:
             self._transmit_next()
+
+    def clear(self) -> None:
+        """Drop everything queued (the medium went down)."""
+        for packet, _sender in self._queue:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += packet.size
+        self._queue.clear()
+
+    def drop_from(self, sender: "Interface") -> None:
+        """Drop queued packets submitted by ``sender`` (its node
+        crashed; frames still in its NIC buffer never hit the wire)."""
+        kept = []
+        for packet, who in self._queue:
+            if who is sender:
+                self.stats.packets_dropped += 1
+                self.stats.bytes_dropped += packet.size
+            else:
+                kept.append((packet, who))
+        self._queue[:] = kept
 
     def _transmit_next(self) -> None:
         if not self._queue:
@@ -65,8 +89,9 @@ class _TxQueue:
         def done() -> None:
             # Random loss models a noisy medium; it happens after the
             # medium was occupied (collisions still consume airtime).
-            if (self.loss_rate > 0.0
-                    and self._sim.rng.random() < self.loss_rate):
+            # A medium that went down mid-transmission loses the frame.
+            if not self.up or (self.loss_rate > 0.0
+                               and self._sim.rng.random() < self.loss_rate):
                 self.stats.packets_lost += 1
                 self.stats.bytes_lost += packet.size
             else:
@@ -117,6 +142,19 @@ class Link:
     def transmit(self, packet: Packet, sender: "Interface") -> None:
         self._tx[id(sender)].send(packet, sender)
 
+    @property
+    def up(self) -> bool:
+        """Is the link carrying traffic?  Setting ``False`` flushes both
+        transmission queues and drops everything sent until restored."""
+        return all(tx.up for tx in self._tx.values())
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        for tx in self._tx.values():
+            tx.up = value
+            if not value:
+                tx.clear()
+
     def other_end(self, iface: "Interface") -> "Interface":
         for other in self._ifaces:
             if other is not iface:
@@ -155,6 +193,18 @@ class Segment:
 
     def transmit(self, packet: Packet, sender: "Interface") -> None:
         self._tx.send(packet, sender)
+
+    @property
+    def up(self) -> bool:
+        """Is the segment carrying traffic?  Setting ``False`` flushes
+        the shared queue and drops everything sent until restored."""
+        return self._tx.up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._tx.up = value
+        if not value:
+            self._tx.clear()
 
     def _broadcast(self, packet: Packet, sender: "Interface") -> None:
         for iface in self._ifaces:

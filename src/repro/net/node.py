@@ -65,8 +65,12 @@ class NodeStats:
     dropped_ttl: int = 0
     dropped_no_route: int = 0
     dropped_not_local: int = 0
+    #: packets that arrived at (or were sent from) a crashed node
+    dropped_down: int = 0
     asp_handled: int = 0
     sent: int = 0
+    crashes: int = 0
+    restarts: int = 0
 
 
 class Node:
@@ -81,6 +85,14 @@ class Node:
         self.routes = RoutingTable()
         self.stats = NodeStats()
         self.planp: "PlanPLayer | None" = None
+        #: is the node running?  A crashed node neither receives nor
+        #: sends; see :meth:`crash` / :meth:`restart`.
+        self.up = True
+        #: run when the node crashes (services drop volatile state)
+        self.crash_hooks: list[Callable[[], None]] = []
+        #: run when the node restarts (services re-install from
+        #: persistent manifests)
+        self.restart_hooks: list[Callable[[], None]] = []
         #: transport demultiplexing: IP proto number -> handler(packet)
         self._proto_handlers: dict[int, Callable[[Packet], None]] = {}
         #: multicast groups this node has joined (hosts)
@@ -126,9 +138,43 @@ class Node:
     def leave_group(self, group: HostAddr) -> None:
         self.multicast_groups.discard(group)
 
+    # -- failure model --------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power-fail the node: delivery stops, NIC transmit buffers are
+        flushed, and all volatile state — the downloaded PLAN-P program,
+        its engine and protocol state — is lost.  Persistent state (a
+        deployment service's manifest, routing configuration) survives;
+        :meth:`restart` brings the node back and lets services rebuild
+        from it.  Idempotent while down."""
+        if not self.up:
+            return
+        self.up = False
+        self.stats.crashes += 1
+        for iface in self.interfaces:
+            iface.medium.tx_queue(iface).drop_from(iface)
+        if self.planp is not None:
+            self.planp.uninstall()
+        for hook in self.crash_hooks:
+            hook()
+
+    def restart(self) -> None:
+        """Bring a crashed node back up (its interfaces re-attach to the
+        same media and addresses).  Restart hooks run so services can
+        re-install from their persistent manifests."""
+        if self.up:
+            return
+        self.up = True
+        self.stats.restarts += 1
+        for hook in self.restart_hooks:
+            hook()
+
     # -- receive path ---------------------------------------------------------------
 
     def receive(self, packet: Packet, iface: Interface) -> None:
+        if not self.up:
+            self.stats.dropped_down += 1
+            return
         self.stats.received += 1
         for tap in self.receive_taps:
             tap(packet, iface)
@@ -223,6 +269,9 @@ class Node:
         IP/PLAN-P layer once, even when self-addressed (figure 1 places
         the layer inside the IP stack).
         """
+        if not self.up:
+            self.stats.dropped_down += 1
+            return
         self.stats.sent += 1
         dst = packet.ip.dst
         if dst.is_multicast:

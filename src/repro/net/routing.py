@@ -31,6 +31,10 @@ class RoutingTable:
     def set_default(self, iface: "Interface") -> None:
         self._default = iface
 
+    @property
+    def default(self) -> "Interface | None":
+        return self._default
+
     def lookup(self, dst: HostAddr) -> "Interface | None":
         route = self._routes.get(dst)
         if route is not None:
@@ -53,17 +57,28 @@ def compute_routes(nodes: list["Node"]) -> None:
     Builds the node adjacency graph from shared media, runs all-pairs
     shortest paths, and installs one host route per (node, destination
     address).  Deterministic: ties break on node name.
-    """
-    graph = nx.Graph()
-    for node in nodes:
-        graph.add_node(node.name)
-    by_name = {node.name: node for node in nodes}
 
-    # Adjacency: two nodes sharing any medium are neighbours.
+    Fault-aware: crashed nodes (``up == False``) and down media are
+    excluded from the graph, so a recompute after an injected fault
+    reconverges onto the surviving topology.  A default route installed
+    by a topology builder (:meth:`RoutingTable.set_default`) is
+    preserved across the recompute — or re-derived onto the node's
+    first live interface if its old egress went down — rather than
+    silently dropped with the rest of the table.
+    """
+    alive = [node for node in nodes if node.up]
+    graph = nx.Graph()
+    for node in alive:
+        graph.add_node(node.name)
+    by_name = {node.name: node for node in alive}
+
+    # Adjacency: two live nodes sharing any up medium are neighbours.
     medium_members: dict[int, list] = {}
-    for node in nodes:
+    for node in alive:
         for iface in node.interfaces:
-            medium_members.setdefault(id(iface.medium), []).append(node)
+            if getattr(iface.medium, "up", True):
+                medium_members.setdefault(id(iface.medium),
+                                          []).append(node)
     for members in medium_members.values():
         members = sorted(set(members), key=lambda n: n.name)
         for i, a in enumerate(members):
@@ -72,9 +87,9 @@ def compute_routes(nodes: list["Node"]) -> None:
 
     paths = dict(nx.all_pairs_shortest_path(graph))
 
-    for node in nodes:
-        node.routes = RoutingTable()
-        for target in nodes:
+    for node in alive:
+        node.routes = _recomputed_table(node, node.routes.default)
+        for target in alive:
             if target is node:
                 continue
             path = paths.get(node.name, {}).get(target.name)
@@ -88,8 +103,25 @@ def compute_routes(nodes: list["Node"]) -> None:
                 node.routes.add_route(addr, iface)
 
 
+def _recomputed_table(node: "Node",
+                      old_default: "Interface | None") -> RoutingTable:
+    """A fresh table carrying over (or re-deriving) the default route."""
+    table = RoutingTable()
+    if old_default is None:
+        return table
+    if getattr(old_default.medium, "up", True):
+        table.set_default(old_default)
+        return table
+    for iface in node.interfaces:
+        if getattr(iface.medium, "up", True):
+            table.set_default(iface)
+            break
+    return table
+
+
 def _iface_toward(node: "Node", neighbor: "Node") -> "Interface | None":
-    neighbor_media = {id(i.medium) for i in neighbor.interfaces}
+    neighbor_media = {id(i.medium) for i in neighbor.interfaces
+                      if getattr(i.medium, "up", True)}
     for iface in node.interfaces:
         if id(iface.medium) in neighbor_media:
             return iface

@@ -119,6 +119,12 @@ class Simulator:
         """Run ``fn`` at absolute simulated time ``when``."""
         return self.schedule(max(0.0, when - self.now), fn)
 
+    def jittered(self, delay: float, frac: float = 0.5) -> float:
+        """``delay`` perturbed uniformly by ±``frac``, from the seeded
+        RNG — retry timers use this so synchronized failures don't
+        retransmit in lockstep, while runs stay reproducible."""
+        return delay * (1.0 + frac * (2.0 * self.rng.random() - 1.0))
+
     def every(self, interval: float, fn: Callable[[], None],
               start: float | None = None,
               until: float | None = None) -> "PeriodicTask":

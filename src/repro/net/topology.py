@@ -20,6 +20,8 @@ Typical use (the paper's figure 5 network is built exactly like this in
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .addresses import AddressAllocator, HostAddr
 from .link import Link, Segment
 from .multicast import GroupManager
@@ -28,6 +30,9 @@ from .routing import compute_routes
 from .sim import Simulator
 from .tcp import TcpStack
 from .udp import UdpStack
+
+if TYPE_CHECKING:
+    from .faults import FaultController
 
 
 class Network:
@@ -102,6 +107,15 @@ class Network:
         if not hasattr(node, "_tcp_stack"):
             node._tcp_stack = TcpStack(node)  # type: ignore[attr-defined]
         return node._tcp_stack  # type: ignore[attr-defined]
+
+    @property
+    def faults(self) -> "FaultController":
+        """The network's fault injector (created on first use)."""
+        if not hasattr(self, "_faults"):
+            from .faults import FaultController
+
+            self._faults = FaultController(self)
+        return self._faults
 
     # -- finalisation ---------------------------------------------------------------
 

@@ -3,7 +3,8 @@
 from .codec import (CodecError, DispatchPlan, decode, dispatch_plan, encode,
                     make_decoder, matches, packet_views)
 from .deployment import Deployment, DeploymentRecord
-from .netdeploy import DeploymentManager, DeploymentService, PushStatus
+from .netdeploy import (DeploymentManager, DeploymentService,
+                        ManifestEntry, PushStatus, RetryPolicy)
 from .planp_layer import PlanPLayer, PlanPStats
 
 __all__ = [
@@ -13,7 +14,9 @@ __all__ = [
     "DeploymentManager",
     "DeploymentService",
     "DispatchPlan",
+    "ManifestEntry",
     "PushStatus",
+    "RetryPolicy",
     "PlanPLayer",
     "PlanPStats",
     "decode",

@@ -79,6 +79,10 @@ class PlanPLayer:
         self.channel_states: dict[int, object] = {}
         self.stats = PlanPStats()
         self.console: list[str] = []
+        #: content digests of every program installed on this layer, in
+        #: install order (the deployment manifest; survives uninstall
+        #: and node crashes, so recovery can check what *should* run)
+        self.manifest: list[str] = []
         #: per-packet execution cost charged to the node (0 = free);
         #: models the CPU the paper's gateway burns per packet
         self.cpu = SerialResource(node.sim)
@@ -114,6 +118,8 @@ class PlanPLayer:
     def install_loaded(self, loaded: LoadedProgram) -> None:
         self.loaded = loaded
         self.engine = loaded.engine
+        if loaded.source_sha:
+            self.manifest.append(loaded.source_sha)
         # (Re)installation hook: an engine moved from another node must
         # drop node-bound state (the interpreter's cached globals env).
         on_install = getattr(self.engine, "on_install", None)
@@ -145,6 +151,11 @@ class PlanPLayer:
             table.setdefault((tag, plan.transport_cls),
                              []).append(_DispatchEntry(decl, plan))
         return table
+
+    @property
+    def current_sha(self) -> str | None:
+        """Digest of the running program (None when nothing is loaded)."""
+        return self.loaded.source_sha if self.loaded is not None else None
 
     def uninstall(self) -> None:
         self.loaded = None

@@ -110,6 +110,72 @@ class TestServerFailure:
         assert before and after  # service continued after the failure
 
 
+class TestFaultDrills:
+    def test_link_down_during_audio_broadcast(self):
+        """Failure drill: the fig. 5 LAN segment goes dark for two
+        seconds mid-broadcast.  The client detects the silence, the
+        stream restores when the segment heals, and nothing wedges."""
+        from repro.apps.audio.client import AudioClient
+        from repro.apps.audio.source import AudioSource
+
+        net = Network(seed=16)
+        src = net.add_host("src")
+        router = net.add_router("router")
+        client = net.add_host("client")
+        net.link(src, router, bandwidth=100e6)
+        seg = net.segment("lan")
+        net.attach(router, seg)
+        net.attach(client, seg)
+        net.finalize()
+        group = net.multicast_group("224.1.1.1", src, [client])
+
+        deployment = Deployment()
+        deployment.install(audio_router_asp(), [router])
+        deployment.install(audio_client_asp(), [client])
+
+        source = AudioSource(net, src, group)
+        sink = AudioClient(net, client, group)
+        net.faults.script([
+            (3.0, net.faults.link_down, seg),
+            (5.0, net.faults.link_up, seg),
+        ])
+        source.start(until=10.0)
+        net.run(until=10.5)
+
+        assert source.frames_sent == 501
+        # ~2 s of a 10 s broadcast dropped: roughly 100 frames lost.
+        assert 380 <= sink.frames_received <= 420
+        assert sink.silent_periods  # the outage was detected...
+        assert sink.restored        # ...and the stream came back
+        assert router.planp.stats.runtime_errors == 0
+        assert len(net.faults.log) == 2
+
+    def test_router_crash_loses_asp_until_reinstalled(self):
+        """A crashed router loses its downloaded program (volatile
+        state); after restart it forwards by standard IP processing
+        until an operator — or a deployment service manifest — puts the
+        ASP back."""
+        net = Network(seed=17)
+        a = net.add_host("a")
+        r = net.add_router("r")
+        b = net.add_host("b")
+        net.link(a, r)
+        net.link(r, b)
+        net.finalize()
+        layer = PlanPLayer(r)
+        layer.install(audio_router_asp())
+        assert layer.loaded is not None
+        net.faults.crash("r")
+        net.faults.restart("r")
+        assert layer.loaded is None
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(udp_packet(a.address, b.address, 1, 7000, b"frame"))
+        net.run()
+        assert len(got) == 1  # standard forwarding still works
+        assert r.planp.stats.packets_processed == 0
+
+
 class TestMalformedTraffic:
     def test_garbage_on_audio_port_is_forwarded_not_fatal(self):
         net = Network(seed=15)

@@ -116,7 +116,60 @@ class TestRejection:
         sock.sendto(routers[0].address, 9900, b"CHUNK t1 0\nval")
         sock.sendto(routers[0].address, 9900, b"COMMIT t1")
         net.run(until=1.0)
-        assert replies and b"incomplete" in replies[0]
+        # The reliable protocol acks the BEGIN and the chunk before
+        # rejecting the incomplete commit.
+        assert replies == [b"BEGACK t1", b"CACK t1 0",
+                           b"REJ t1 incomplete (1/3)"]
+
+
+class TestHardening:
+    """Malformed control datagrams must never kill the receive path."""
+
+    def raw_socket(self, net, admin):
+        sock = net.udp(admin).bind()
+        replies = []
+        sock.on_datagram = lambda d, s, p: replies.append(d)
+        return sock, replies
+
+    def test_garbage_header_with_id_gets_rej(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock, replies = self.raw_socket(net, admin)
+        sock.sendto(routers[0].address, 9900, b"BEGIN t9 zap closure 1")
+        net.run(until=0.5)
+        assert replies == [b"REJ t9 malformed"]
+        assert services[0].malformed == 1
+
+    def test_bad_chunk_index_rejected_not_fatal(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock, replies = self.raw_socket(net, admin)
+        sock.sendto(routers[0].address, 9900, b"BEGIN t1 3 closure 1")
+        sock.sendto(routers[0].address, 9900, b"CHUNK t1 -1\nxx")
+        sock.sendto(routers[0].address, 9900, b"CHUNK t1 nope\nxx")
+        sock.sendto(routers[0].address, 9900, b"CHUNK t1 99\nxx")
+        net.run(until=0.5)
+        assert replies == [b"BEGACK t1", b"REJ t1 malformed",
+                           b"REJ t1 malformed", b"REJ t1 malformed"]
+        assert services[0].malformed == 3
+
+    def test_headerless_garbage_is_dropped_silently(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock, replies = self.raw_socket(net, admin)
+        sock.sendto(routers[0].address, 9900, b"XYZZY")
+        sock.sendto(routers[0].address, 9900, b"")
+        net.run(until=0.5)
+        assert replies == []
+        assert services[0].malformed == 2
+
+    def test_node_survives_garbage_then_installs_normally(self):
+        net, admin, routers, endpoint, services, manager = managed_net()
+        sock, _replies = self.raw_socket(net, admin)
+        for payload in (b"BEGIN x y z", b"CHUNK", b"COMMIT a b c",
+                        b"\x00\xff garbage \n\n", b"BEGIN t 0 c 1"):
+            sock.sendto(routers[0].address, 9900, payload)
+        xfer = manager.push(FORWARD, [routers[0].address])
+        net.run(until=1.0)
+        assert manager.all_ok(xfer)
+        assert services[0].installed == [xfer]
 
 
 class TestReconfiguration:
