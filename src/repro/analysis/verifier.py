@@ -20,11 +20,11 @@ verify=False)`` in :mod:`repro.runtime.deployment`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..lang.errors import VerificationError
 from ..lang.typechecker import ProgramInfo
+from ..obs.spans import span
 from .delivery import DeliveryReport, check_delivery
 from .duplication import DuplicationReport, check_duplication
 from .termination import (GlobalTerminationReport, check_global_termination,
@@ -75,11 +75,14 @@ def verify_report(info: ProgramInfo) -> VerificationReport:
     report = VerificationReport()
 
     def run(name: str, fn) -> None:
-        start = time.perf_counter()
+        # Each pass times into its own process-wide histogram
+        # (``verify.<name>_ms``); the per-run elapsed still lands in
+        # the report for operator output.
         try:
-            value = fn(info)
-            elapsed = (time.perf_counter() - start) * 1000.0
-            report.results.append(AnalysisResult(name, True, elapsed))
+            with span(f"verify.{name}_ms") as timer:
+                value = fn(info)
+            report.results.append(
+                AnalysisResult(name, True, timer.elapsed_ms))
             if isinstance(value, GlobalTerminationReport):
                 report.global_termination = value
             elif isinstance(value, DeliveryReport):
@@ -87,9 +90,9 @@ def verify_report(info: ProgramInfo) -> VerificationReport:
             elif isinstance(value, DuplicationReport):
                 report.duplication = value
         except VerificationError as err:
-            elapsed = (time.perf_counter() - start) * 1000.0
             report.results.append(
-                AnalysisResult(name, False, elapsed, detail=err.message))
+                AnalysisResult(name, False, timer.elapsed_ms,
+                               detail=err.message))
 
     run("local-termination", check_local_termination)
     run("global-termination", check_global_termination)

@@ -84,6 +84,8 @@ class AudioExperimentResult:
     quality_fractions: dict[int, float]
     restored: bool
     segment_drops: int
+    #: full metrics snapshot of the network, taken at the end of the run
+    metrics: dict = field(default_factory=dict)
 
     def dominant_quality_between(self, start: float, end: float) -> int:
         """The most common quality level in a time window (for asserting
@@ -179,7 +181,8 @@ def run_audio_experiment(*, adaptation: bool = True,
                            for fmt in (FMT_STEREO16, FMT_MONO16,
                                        FMT_MONO8)},
         restored=client.restored,
-        segment_drops=segment.stats.packets_dropped)
+        segment_drops=segment.stats.packets_dropped,
+        metrics=net.metrics_snapshot())
 
 
 def run_gap_sweep(load_levels_bps: list[float], *,

@@ -41,6 +41,8 @@ class HttpExperimentResult:
     completed: int
     failures: int
     codegen_ms: float | None = None
+    #: full metrics snapshot of the network, taken at the end of the run
+    metrics: dict = field(default_factory=dict)
 
     @property
     def balance_ratio(self) -> float:
@@ -146,7 +148,8 @@ def run_http_experiment(mode: str, n_clients: int, *,
                            for s in servers},
         completed=completed,
         failures=sum(w.failures for w in workers),
-        codegen_ms=codegen_ms)
+        codegen_ms=codegen_ms,
+        metrics=net.metrics_snapshot())
 
 
 def run_fig8_sweep(client_counts: list[int], *,

@@ -15,7 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ...net.node import Host
-from ...net.tcp import TcpConnection
+from ...net.tcp import TcpConnection, TcpError
 from ...net.topology import Network
 
 HTTP_PORT = 80
@@ -133,8 +133,11 @@ class HttpServer:
         try:
             conn.send(headers + body)
             conn.close()
-        except Exception:
-            self.errors += 1
+        except TcpError as err:
+            # The client went away (reset, timeout) before the response
+            # could be written — an expected peer failure, not a server
+            # bug; any other exception propagates.
+            self._count_error(path, err)
             return
         self.requests_served += 1
         self.bytes_served += len(body)
@@ -156,8 +159,15 @@ class HttpServer:
         try:
             conn.send(headers + message)
             conn.close()
-        except Exception:
-            pass
+        except TcpError as err:
+            self._count_error(f"<{code}>", err)
+
+    def _count_error(self, path: str, err: TcpError) -> None:
+        self.errors += 1
+        self.net.obs.metrics.counter("http.errors_total").inc()
+        self.net.obs.events.emit("error", node=self.host.name,
+                                 where="http-server", path=path,
+                                 detail=str(err))
 
     def throughput(self, window: tuple[float, float]) -> float:
         """Requests completed per second inside a time window."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ...asps.images import IMAGE_PORT, image_distiller_asp
 from ...interp.image_prims import decode_image
+from ...lang.errors import PlanPError
 from ...net.addresses import HostAddr
 from ...net.node import Host
 from ...net.topology import Network
@@ -107,8 +108,16 @@ class ImageClient:
             return
         try:
             pixels, _bits = decode_image(payload)
-        except Exception:
+        except PlanPError as err:
+            # A corrupt blob, not a programming error: decode_image
+            # raises PlanPRuntimeError on malformed SIMG data, and only
+            # that is survivable here.  Anything else should crash the
+            # experiment loudly.
             self.failures += 1
+            self.net.obs.metrics.counter("images.errors_total").inc()
+            self.net.obs.events.emit("error", node=self.host.name,
+                                     where="image-client", image=name,
+                                     detail=str(err))
             return
         self.results.append(FetchResult(
             name=name, requested_at=requested_at,
@@ -124,6 +133,8 @@ class ImageExperimentResult:
     slow_kbps: int
     fetches: list[FetchResult]
     distilled_count: int
+    #: full metrics snapshot of the network, taken at the end of the run
+    metrics: dict = field(default_factory=dict)
 
     def mean_latency(self) -> float:
         if not self.fetches:
@@ -170,4 +181,5 @@ def run_image_experiment(*, distillation: bool = True,
         distillation=distillation,
         slow_kbps=int(slow_link_bps // 1000),
         fetches=client.results,
-        distilled_count=sum(1 for f in client.results if f.distilled))
+        distilled_count=sum(1 for f in client.results if f.distilled),
+        metrics=net.metrics_snapshot())

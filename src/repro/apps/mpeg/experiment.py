@@ -11,7 +11,7 @@ while cutting upstream traffic to one stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ...asps.mpeg import mpeg_client_asp, mpeg_monitor_asp
 from ...net.topology import Network
@@ -34,6 +34,8 @@ class MpegExperimentResult:
     per_client_rate: list[float]
     modes: list[str]
     nominal_fps: int
+    #: full metrics snapshot of the network, taken at the end of the run
+    metrics: dict = field(default_factory=dict)
 
     @property
     def all_clients_at_full_rate(self) -> bool:
@@ -104,4 +106,5 @@ def run_mpeg_experiment(*, use_asps: bool = True, n_clients: int = 3,
         per_client_frames=[c.frames_received for c in clients],
         per_client_rate=[c.frame_rate(window) for c in clients],
         modes=[c.mode.value for c in clients],
-        nominal_fps=stream.fps)
+        nominal_fps=stream.fps,
+        metrics=net.metrics_snapshot())

@@ -10,7 +10,6 @@ Python-source generation), measured on the program actually shipped by
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass
 
 from ..asps import (audio_client_asp, audio_router_asp, http_gateway_asp,
@@ -18,6 +17,7 @@ from ..asps import (audio_client_asp, audio_router_asp, http_gateway_asp,
 from ..interp.context import RecordingContext
 from ..jit.pipeline import count_source_lines, make_engine
 from ..lang import parse, typecheck
+from ..obs.spans import span
 
 #: name -> (source, paper lines, paper codegen ms), for side-by-side
 #: reporting.  Paper values are from Figure 3.
@@ -46,9 +46,9 @@ def _measure_codegen(source: str, backend: str, repeats: int) -> float:
     times = []
     for _ in range(repeats):
         ctx = RecordingContext()
-        start = time.perf_counter()
-        make_engine(info, backend, ctx)
-        times.append((time.perf_counter() - start) * 1000.0)
+        with span(f"fig3.codegen_{backend}_ms") as timer:
+            make_engine(info, backend, ctx)
+        times.append(timer.elapsed_ms)
     return statistics.median(times)
 
 

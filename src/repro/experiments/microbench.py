@@ -18,8 +18,7 @@ behind.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..interp.context import RecordingContext
 from ..interp.values import PlanPTable, UNIT
@@ -27,6 +26,8 @@ from ..jit.pipeline import make_engine
 from ..lang import parse, typecheck
 from ..net.addresses import HostAddr
 from ..net.packet import IpHeader, TcpHeader
+from ..obs import GLOBAL
+from ..obs.spans import span
 
 #: The bridge-class workload: per-flow packet accounting + forwarding.
 BRIDGE_ASP = """\
@@ -75,6 +76,8 @@ class MicrobenchResult:
     engine: str
     packets: int
     elapsed_s: float
+    #: process-wide metrics snapshot taken right after the run
+    metrics: dict = field(default_factory=dict)
 
     @property
     def us_per_packet(self) -> float:
@@ -104,20 +107,69 @@ def run_engine_microbench(engine_name: str, n_packets: int = 20_000,
     if engine_name == "builtin":
         table = PlanPTable(1024)
         ps = 0
-        start = time.perf_counter()
-        for i in range(n_packets):
-            ps = builtin_bridge(ctx, table, ps, packets[i % n_flows])
-        elapsed = time.perf_counter() - start
-        return MicrobenchResult("builtin", n_packets, elapsed)
+        with span("microbench.builtin_ms") as timer:
+            for i in range(n_packets):
+                ps = builtin_bridge(ctx, table, ps, packets[i % n_flows])
+        return MicrobenchResult("builtin", n_packets, timer.elapsed_s,
+                                metrics=GLOBAL.snapshot())
 
     info = typecheck(parse(BRIDGE_ASP))
     engine = make_engine(info, engine_name, ctx)
     decl = info.channels["network"][0]
     ps: object = 0
     ss = engine.initial_channel_state(decl, ctx)
-    start = time.perf_counter()
-    for i in range(n_packets):
-        ps, ss = engine.run_channel(decl, ps, ss, packets[i % n_flows],
-                                    ctx)
-    elapsed = time.perf_counter() - start
-    return MicrobenchResult(engine_name, n_packets, elapsed)
+    with span(f"microbench.{engine_name}_ms") as timer:
+        for i in range(n_packets):
+            ps, ss = engine.run_channel(decl, ps, ss,
+                                        packets[i % n_flows], ctx)
+    return MicrobenchResult(engine_name, n_packets, timer.elapsed_s,
+                            metrics=GLOBAL.snapshot())
+
+
+ENGINES = ("interpreter", "closure", "source", "builtin")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the engine comparison, optionally dumping JSON.
+
+    ``--smoke`` shrinks the packet count so CI can run the instrumented
+    benchmark in seconds; ``--json PATH`` writes per-engine results plus
+    the process-wide metrics snapshot (the CI artifact).
+    """
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.microbench",
+        description="PLAN-P execution-engine microbenchmark")
+    parser.add_argument("--engines", nargs="*", default=list(ENGINES),
+                        choices=ENGINES, metavar="ENGINE")
+    parser.add_argument("--packets", type=int, default=20_000)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run (2000 packets) for CI")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write results + metrics snapshot as JSON")
+    args = parser.parse_args(argv)
+    n_packets = 2_000 if args.smoke else args.packets
+
+    results = [run_engine_microbench(name, n_packets=n_packets)
+               for name in args.engines]
+    for r in results:
+        print(f"{r.engine:>12s}  {r.us_per_packet:8.2f} us/packet  "
+              f"({r.packets} packets)")
+    if args.json:
+        doc = {"smoke": args.smoke,
+               "results": [{"engine": r.engine, "packets": r.packets,
+                            "elapsed_s": r.elapsed_s,
+                            "us_per_packet": r.us_per_packet}
+                           for r in results],
+               "metrics": GLOBAL.snapshot()}
+        with open(args.json, "w") as fp:
+            json.dump(doc, fp, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

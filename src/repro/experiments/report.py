@@ -41,6 +41,51 @@ def md_table(headers: list[str], rows: list[list[object]]) -> str:
     return "\n".join(out)
 
 
+# -- metrics appendix ----------------------------------------------------------
+#
+# Each experiment section stashes a curated slice of its
+# ``metrics_snapshot()`` here; ``generate`` renders them as a closing
+# appendix.  Per-node / per-link keys are dropped — the appendix shows
+# network-wide and process-wide health, not the full snapshot.
+
+_METRICS: dict[str, dict[str, object]] = {}
+
+_APPENDIX_PREFIXES = (
+    "drops_total", "faults_total", "http.errors_total",
+    "images.errors_total", "events.", "sim.",
+    "asp.process_ms.count", "asp.process_ms.mean",
+    "global.jit.", "global.verify.", "global.program_cache.",
+    "global.interp.", "global.microbench.",
+    "jit.", "verify.", "program_cache.", "interp.", "microbench.",
+)
+
+
+def _stash_metrics(section: str, metrics: dict[str, object]) -> None:
+    curated = {key: value for key, value in sorted(metrics.items())
+               if key.startswith(_APPENDIX_PREFIXES)}
+    if curated:
+        _METRICS[section] = curated
+
+
+def _fmt_metric(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def section_metrics_appendix() -> str:
+    parts = ["## Appendix — metrics snapshots\n",
+             "Selected counters from each experiment's "
+             "`metrics_snapshot()` (`global.*` keys are process-wide: "
+             "JIT pipeline, verifier, program cache)."]
+    for section, metrics in _METRICS.items():
+        rows = [[key, _fmt_metric(value)]
+                for key, value in metrics.items()]
+        parts.append(f"### {section}\n\n"
+                     + md_table(["metric", "value"], rows))
+    return "\n\n".join(parts)
+
+
 def section_fig3() -> str:
     from .fig3 import fig3_codegen_table
 
@@ -59,6 +104,7 @@ def section_fig6(scale: Scale) -> str:
     from ..apps.audio.codec import FORMAT_NAMES
 
     result = run_audio_experiment(duration=scale.audio_duration)
+    _stash_metrics("fig6 (audio)", result.metrics)
     d = scale.audio_duration
     windows = [("no load", 0.02 * d, 0.2 * d, "176"),
                ("large load", 0.27 * d, 0.47 * d, "44"),
@@ -98,6 +144,7 @@ def section_fig8(scale: Scale) -> str:
         mode, scale.http_clients, duration=scale.http_duration,
         warmup=scale.http_duration / 4, trace=trace)
         for mode in ("single", "asp", "builtin", "disjoint")}
+    _stash_metrics("fig8 (http, asp mode)", results["asp"].metrics)
     rows = [[mode, f"{r.throughput_rps:.1f}",
              f"{r.mean_latency_s * 1000:.1f}",
              f"{r.balance_ratio:.2f}"]
@@ -122,6 +169,7 @@ def section_mpeg(scale: Scale) -> str:
                                     duration=scale.mpeg_duration)
     without = run_mpeg_experiment(use_asps=False, n_clients=3,
                                   duration=scale.mpeg_duration)
+    _stash_metrics("mpeg (with ASPs)", with_asps.metrics)
     rows = []
     for r in (without, with_asps):
         rows.append(["ASPs" if r.use_asps else "plain",
@@ -139,6 +187,8 @@ def section_microbench(scale: Scale) -> str:
     results = {name: run_engine_microbench(
         name, n_packets=scale.microbench_packets)
         for name in ("interpreter", "closure", "source", "builtin")}
+    _stash_metrics("microbench (process-wide)",
+                   results["builtin"].metrics)
     builtin = results["builtin"].us_per_packet
     rows = [[name, f"{r.us_per_packet:.2f}",
              f"{r.us_per_packet / builtin:.2f}x"]
@@ -160,10 +210,13 @@ SECTIONS = {
 def generate(scale: Scale, only: list[str] | None = None) -> str:
     parts = ["# Reproduced results (generated by "
              "`python -m repro.experiments.report`)"]
+    _METRICS.clear()
     for name, fn in SECTIONS.items():
         if only and name not in only:
             continue
         parts.append(fn(scale))
+    if _METRICS:
+        parts.append(section_metrics_appendix())
     return "\n\n".join(parts) + "\n"
 
 

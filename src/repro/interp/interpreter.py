@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from ..lang import ast
 from ..lang.errors import PlanPRuntimeError
+from ..obs import GLOBAL
 from .context import ExecutionContext
 
 if TYPE_CHECKING:  # avoid a cycle: typechecker imports the primitives
@@ -74,7 +75,13 @@ class Interpreter:
     def run_channel(self, decl: ast.ChannelDecl, protocol_state: object,
                     channel_state: object, packet_value: tuple,
                     ctx: ExecutionContext) -> tuple[object, object]:
-        """Process one packet: returns the new ``(ps, ss)`` pair."""
+        """Process one packet: returns the new ``(ps, ss)`` pair.
+
+        The global counter is looked up per invocation (not captured at
+        import) so it survives test-isolation resets; the lookup is
+        noise against the ~10µs the AST walk costs per packet.
+        """
+        GLOBAL.metrics.counter("interp.invocations_total").inc()
         env = self.globals_env(ctx).child()
         env.bind(decl.params[0].name, protocol_state)
         env.bind(decl.params[1].name, channel_state)

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol
 
@@ -36,6 +35,7 @@ from ..lang.errors import VerificationError
 from ..lang.typechecker import ProgramInfo, typecheck
 from ..interp.context import ExecutionContext, RecordingContext
 from ..interp.interpreter import Interpreter
+from ..obs import GLOBAL
 from .codegen import CompiledSourceEngine, SourceArtifact, \
     generate_source_artifact
 from .specializer import ClosureEngine
@@ -157,7 +157,10 @@ class ProgramCache:
             self.stats.frontend_hits += 1
             return key, info
         self.stats.frontend_misses += 1
-        info = typecheck(parse(source, source_name))
+        with GLOBAL.metrics.span("jit.parse_ms"):
+            program = parse(source, source_name)
+        with GLOBAL.metrics.span("jit.typecheck_ms"):
+            info = typecheck(program)
         self._put(self._frontend, key, info)
         return key, info
 
@@ -176,7 +179,8 @@ class ProgramCache:
         self.stats.verify_misses += 1
         from ..analysis.verifier import verify_report
 
-        report = verify_report(info)
+        with GLOBAL.metrics.span("jit.verify_ms"):
+            report = verify_report(info)
         self._put(self._reports, key, report)
         return report
 
@@ -219,6 +223,15 @@ class ProgramCache:
 #: The process-wide cache every download path goes through.  Replaceable
 #: (e.g. with ``ProgramCache(max_entries=0)``) to disable caching.
 PROGRAM_CACHE = ProgramCache()
+
+
+def _cache_stats() -> dict[str, int]:
+    # Looked up at call time, so benchmarks that rebind PROGRAM_CACHE
+    # are snapshotted correctly.
+    return dataclasses.asdict(PROGRAM_CACHE.stats)
+
+
+GLOBAL.metrics.register("program_cache", _cache_stats)
 
 
 @dataclass
@@ -267,13 +280,16 @@ def load_program(source: str, *, backend: str = "closure",
     key, info = cache.frontend(source, source_name)
     if verify:
         cache.check_verified(key, info)
-    start = time.perf_counter()
-    artifact = cache.engine_artifact(key, info, backend)
-    engine = make_engine(info, backend, ctx, artifact=artifact)
-    codegen_ms = (time.perf_counter() - start) * 1000.0
+    with GLOBAL.metrics.span("jit.codegen_ms") as timer:
+        artifact = cache.engine_artifact(key, info, backend)
+        engine = make_engine(info, backend, ctx, artifact=artifact)
     cache.stats.loads += 1
+    hit = cache.stats.total_hits > before
+    GLOBAL.events.emit("jit", sha=key[:12], backend=backend,
+                       codegen_ms=round(timer.elapsed_ms, 3),
+                       cache_hit=hit, verified=verify)
     return LoadedProgram(info=info, engine=engine, backend=backend,
-                         codegen_ms=codegen_ms,
+                         codegen_ms=timer.elapsed_ms,
                          source_lines=count_source_lines(source),
                          source_sha=key,
-                         cache_hit=cache.stats.total_hits > before)
+                         cache_hit=hit)

@@ -153,3 +153,7 @@ class FaultController:
 
     def _note(self, text: str) -> None:
         self.log.append((self.net.sim.now, text))
+        obs = getattr(self.net, "obs", None)
+        if obs is not None:
+            obs.events.emit("fault", detail=text)
+            obs.metrics.counter("faults_total").inc()

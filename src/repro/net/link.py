@@ -25,7 +25,14 @@ if TYPE_CHECKING:
 
 
 class _TxQueue:
-    """One transmission direction: serializer + bounded FIFO."""
+    """One transmission direction: serializer + bounded FIFO.
+
+    Observability taps: ``send_taps`` fire when a packet starts
+    transmission, ``drop_taps`` fire with a reason (``"down"``,
+    ``"queue"``, ``"flush"``, ``"crash"``, ``"loss"``) whenever one is
+    discarded.  Both lists are empty by default — the hot path pays one
+    truthiness check.
+    """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float,
                  latency: float, queue_limit: int,
@@ -42,15 +49,24 @@ class _TxQueue:
         self._busy = False
         self.stats = LinkStats()
         self.monitor = LoadMonitor()
+        self.send_taps: list[Callable[[Packet, "Interface"], None]] = []
+        self.drop_taps: list[
+            Callable[[Packet, "Interface", str], None]] = []
+
+    def _dropped(self, packet: Packet, sender: "Interface",
+                 reason: str) -> None:
+        self.stats.packets_dropped += 1
+        self.stats.bytes_dropped += packet.size
+        if self.drop_taps:
+            for tap in self.drop_taps:
+                tap(packet, sender, reason)
 
     def send(self, packet: Packet, sender: "Interface") -> None:
         if not self.up:
-            self.stats.packets_dropped += 1
-            self.stats.bytes_dropped += packet.size
+            self._dropped(packet, sender, "down")
             return
         if len(self._queue) >= self.queue_limit:
-            self.stats.packets_dropped += 1
-            self.stats.bytes_dropped += packet.size
+            self._dropped(packet, sender, "queue")
             return
         self._queue.append((packet, sender))
         if not self._busy:
@@ -58,9 +74,8 @@ class _TxQueue:
 
     def clear(self) -> None:
         """Drop everything queued (the medium went down)."""
-        for packet, _sender in self._queue:
-            self.stats.packets_dropped += 1
-            self.stats.bytes_dropped += packet.size
+        for packet, sender in self._queue:
+            self._dropped(packet, sender, "flush")
         self._queue.clear()
 
     def drop_from(self, sender: "Interface") -> None:
@@ -69,8 +84,7 @@ class _TxQueue:
         kept = []
         for packet, who in self._queue:
             if who is sender:
-                self.stats.packets_dropped += 1
-                self.stats.bytes_dropped += packet.size
+                self._dropped(packet, who, "crash")
             else:
                 kept.append((packet, who))
         self._queue[:] = kept
@@ -85,6 +99,9 @@ class _TxQueue:
         self.monitor.record(self._sim.now, packet.size)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size
+        if self.send_taps:
+            for tap in self.send_taps:
+                tap(packet, sender)
 
         def done() -> None:
             # Random loss models a noisy medium; it happens after the
@@ -94,6 +111,9 @@ class _TxQueue:
                                and self._sim.rng.random() < self.loss_rate):
                 self.stats.packets_lost += 1
                 self.stats.bytes_lost += packet.size
+                if self.drop_taps:
+                    for tap in self.drop_taps:
+                        tap(packet, sender, "loss")
             else:
                 self._sim.schedule(
                     self.latency,
@@ -164,6 +184,34 @@ class Link:
     def tx_queue(self, sender: "Interface") -> _TxQueue:
         return self._tx[id(sender)]
 
+    def add_send_tap(self,
+                     tap: Callable[[Packet, "Interface"], None]) -> None:
+        """Observe every packet starting transmission, either
+        direction."""
+        for tx in self._tx.values():
+            tx.send_taps.append(tap)
+
+    def add_drop_tap(self, tap: Callable[[Packet, "Interface", str],
+                                         None]) -> None:
+        """Observe every packet discarded on this link, either
+        direction, with the drop reason."""
+        for tx in self._tx.values():
+            tx.drop_taps.append(tap)
+
+    def stats_dict(self) -> dict[str, object]:
+        """Both directions' counters summed, plus live queue state —
+        the shape :meth:`MetricsRegistry.register` adapts."""
+        out = {"packets_sent": 0, "bytes_sent": 0, "packets_dropped": 0,
+               "bytes_dropped": 0, "packets_lost": 0, "bytes_lost": 0}
+        queued = 0
+        for tx in self._tx.values():
+            for key in out:
+                out[key] += getattr(tx.stats, key)
+            queued += tx.queue_length()
+        out["queued"] = queued
+        out["up"] = self.up
+        return out
+
     @property
     def interfaces(self) -> list["Interface"]:
         return list(self._ifaces)
@@ -213,6 +261,25 @@ class Segment:
 
     def tx_queue(self, sender: "Interface") -> _TxQueue:
         return self._tx
+
+    def add_send_tap(self,
+                     tap: Callable[[Packet, "Interface"], None]) -> None:
+        self._tx.send_taps.append(tap)
+
+    def add_drop_tap(self, tap: Callable[[Packet, "Interface", str],
+                                         None]) -> None:
+        self._tx.drop_taps.append(tap)
+
+    def stats_dict(self) -> dict[str, object]:
+        stats = self._tx.stats
+        return {"packets_sent": stats.packets_sent,
+                "bytes_sent": stats.bytes_sent,
+                "packets_dropped": stats.packets_dropped,
+                "bytes_dropped": stats.bytes_dropped,
+                "packets_lost": stats.packets_lost,
+                "bytes_lost": stats.bytes_lost,
+                "queued": self._tx.queue_length(),
+                "up": self.up}
 
     @property
     def stats(self) -> LinkStats:

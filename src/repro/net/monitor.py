@@ -52,12 +52,22 @@ class LoadMonitor:
         self._expire(now)
         return sum(n for _slot, n in self._buckets)
 
+    def _elapsed(self, now: float) -> float:
+        """The averaging denominator: the window once it has filled,
+        but only the elapsed time during warm-up — dividing the first
+        partial window's bytes by the full window would underreport the
+        rate (and bias the audio ASP's first adaptation decisions
+        toward "plenty of headroom").  Floored at one bucket width so a
+        lone packet at t≈0 cannot extrapolate to an absurd rate."""
+        return max(min(now, self.window), self.bucket)
+
     def rate_kbps(self, now: float) -> int:
         """Measured rate over the window, in kbit/s (rounded down)."""
-        return int(self.bytes_in_window(now) * 8 / self.window / 1000)
+        return int(self.bytes_in_window(now) * 8 / self._elapsed(now)
+                   / 1000)
 
     def rate_bps(self, now: float) -> float:
-        return self.bytes_in_window(now) * 8 / self.window
+        return self.bytes_in_window(now) * 8 / self._elapsed(now)
 
 
 @dataclass

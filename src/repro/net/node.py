@@ -11,6 +11,7 @@ the group tree.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -21,6 +22,7 @@ from .routing import RoutingTable
 from .sim import Simulator
 
 if TYPE_CHECKING:
+    from ..obs import Observability
     from ..runtime.planp_layer import PlanPLayer
 
 
@@ -104,6 +106,14 @@ class Node:
         #: taps observe every packet arriving on any interface, before
         #: PLAN-P processing (wire-level instrumentation)
         self.receive_taps: list[Callable[[Packet, Interface], None]] = []
+        #: taps observe packets this node discards, with a reason
+        #: (``"ttl"``, ``"no-route"``, ``"node-down"``) — segment
+        #: traffic that is simply not addressed to a host is normal
+        #: operation and is not tapped
+        self.drop_taps: list[Callable[[Packet, str], None]] = []
+        #: the owning network's observability scope (set by
+        #: :class:`~repro.net.topology.Network`; None for bare nodes)
+        self.obs: "Observability | None" = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -137,6 +147,31 @@ class Node:
 
     def leave_group(self, group: HostAddr) -> None:
         self.multicast_groups.discard(group)
+
+    # -- observability --------------------------------------------------------------
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        """Report a node-level discard to the drop taps."""
+        if self.drop_taps:
+            for tap in self.drop_taps:
+                tap(packet, reason)
+
+    def stats_dict(self) -> dict[str, object]:
+        """The node's counters — and its PLAN-P layer's and transport
+        stacks', when present — as one nested dict for the metrics
+        registry."""
+        out: dict[str, object] = dataclasses.asdict(self.stats)
+        out["up"] = self.up
+        if self.planp is not None:
+            out["planp"] = dataclasses.asdict(self.planp.stats)
+        tcp = getattr(self, "_tcp_stack", None)
+        if tcp is not None:
+            out["tcp"] = tcp.stats_dict()
+        udp = getattr(self, "_udp_stack", None)
+        if udp is not None:
+            out["udp"] = {"datagrams_in": udp.datagrams_in,
+                          "datagrams_out": udp.datagrams_out}
+        return out
 
     # -- failure model --------------------------------------------------------------
 
@@ -174,6 +209,7 @@ class Node:
     def receive(self, packet: Packet, iface: Interface) -> None:
         if not self.up:
             self.stats.dropped_down += 1
+            self._drop(packet, "node-down")
             return
         self.stats.received += 1
         for tap in self.receive_taps:
@@ -221,10 +257,12 @@ class Node:
                          in_iface: Interface | None = None) -> None:
         if packet.ip.ttl <= 1:
             self.stats.dropped_ttl += 1
+            self._drop(packet, "ttl")
             return
         out = self.routes.lookup(packet.ip.dst)
         if out is None:
             self.stats.dropped_no_route += 1
+            self._drop(packet, "no-route")
             return
         if out is in_iface:
             # The destination lives on the arrival segment: sending the
@@ -238,6 +276,7 @@ class Node:
                            in_iface: Interface | None) -> None:
         if packet.ip.ttl <= 1:
             self.stats.dropped_ttl += 1
+            self._drop(packet, "ttl")
             return
         out_ifaces = self.multicast_routes.get(packet.ip.dst, [])
         hopped = packet.hop()
@@ -271,6 +310,7 @@ class Node:
         """
         if not self.up:
             self.stats.dropped_down += 1
+            self._drop(packet, "node-down")
             return
         self.stats.sent += 1
         dst = packet.ip.dst
@@ -290,6 +330,7 @@ class Node:
         out = self.routes.lookup(dst)
         if out is None:
             self.stats.dropped_no_route += 1
+            self._drop(packet, "no-route")
             return
         if out is exclude_iface:
             # An ASP forwarding segment-local traffic it observed in

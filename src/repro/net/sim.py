@@ -177,6 +177,14 @@ class Simulator:
         """Live (not-yet-run, not-cancelled) events — O(1)."""
         return self._live
 
+    def stats(self) -> dict[str, float]:
+        """Scheduler health counters for a metrics snapshot."""
+        return {"now": self.now,
+                "events_processed": self.events_processed,
+                "pending_events": self._live,
+                "cancelled_pending": self._cancelled,
+                "heap_size": len(self._queue)}
+
 
 class PeriodicTask:
     """A self-rescheduling event, e.g. an audio frame clock."""

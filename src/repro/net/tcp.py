@@ -406,6 +406,14 @@ class TcpStack:
     def open_connections(self) -> int:
         return len(self._connections)
 
+    def stats_dict(self) -> dict[str, int]:
+        """Counters for a metrics snapshot."""
+        return {"segments_in": self.segments_in,
+                "segments_out": self.segments_out,
+                "retransmissions": self.retransmissions,
+                "bytes_in": self.bytes_in,
+                "open_connections": self.open_connections}
+
     # -- demux -------------------------------------------------------------------------
 
     def _on_packet(self, packet: Packet) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs import Observability
 from .addresses import AddressAllocator, HostAddr
 from .link import Link, Segment
 from .multicast import GroupManager
@@ -33,6 +34,8 @@ from .udp import UdpStack
 
 if TYPE_CHECKING:
     from .faults import FaultController
+    from .node import Interface
+    from .packet import Packet
 
 
 class Network:
@@ -40,6 +43,10 @@ class Network:
 
     def __init__(self, seed: int = 0, base_addr: str = "10.0.0.0"):
         self.sim = Simulator(seed=seed)
+        #: this network's observability scope — metrics registry and a
+        #: structured event log stamped with **simulated** time
+        self.obs = Observability(clock=lambda: self.sim.now)
+        self.obs.metrics.register("sim", self.sim.stats)
         self.nodes: list[Node] = []
         self.media: list[Link | Segment] = []
         self._alloc = AddressAllocator(base_addr)
@@ -59,6 +66,18 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes.append(node)
         self._by_name[node.name] = node
+        node.obs = self.obs
+        self.obs.metrics.register(f"node.{node.name}", node.stats_dict)
+        drops = self.obs.metrics.counter("drops_total")
+
+        def on_drop(packet: "Packet", reason: str) -> None:
+            drops.inc()
+            self.obs.events.emit(
+                "drop", node=node.name, uid=packet.uid,
+                src=str(packet.ip.src), dst=str(packet.ip.dst),
+                reason=reason, site="node")
+
+        node.drop_taps.append(on_drop)
         return node
 
     def __getitem__(self, name: str) -> Node:
@@ -76,7 +95,7 @@ class Network:
         subnet = self._alloc.new_subnet()
         a.add_interface(link, self._alloc.new_host(subnet))
         b.add_interface(link, self._alloc.new_host(subnet))
-        self.media.append(link)
+        self._register_medium(link)
         return link
 
     def segment(self, name: str, bandwidth: float = 10e6,
@@ -87,12 +106,28 @@ class Network:
                       queue_limit=queue_limit, loss_rate=loss_rate,
                       name=name)
         seg._subnet = self._alloc.new_subnet()  # type: ignore[attr-defined]
-        self.media.append(seg)
+        self._register_medium(seg)
         return seg
 
     def attach(self, node: Node, seg: Segment) -> None:
         addr = self._alloc.new_host(seg._subnet)  # type: ignore[attr-defined]
         node.add_interface(seg, addr)
+
+    def _register_medium(self, medium: Link | Segment) -> None:
+        self.media.append(medium)
+        self.obs.metrics.register(f"link.{medium.name}",
+                                  medium.stats_dict)
+        drops = self.obs.metrics.counter("drops_total")
+
+        def on_drop(packet: "Packet", sender: "Interface",
+                    reason: str) -> None:
+            drops.inc()
+            self.obs.events.emit(
+                "drop", node=sender.node.name, uid=packet.uid,
+                src=str(packet.ip.src), dst=str(packet.ip.dst),
+                reason=reason, site=medium.name or "link")
+
+        medium.add_drop_tap(on_drop)
 
     # -- services ----------------------------------------------------------------
 
@@ -136,6 +171,21 @@ class Network:
         if not self._finalized:
             raise RuntimeError("call finalize() before running")
         self.sim.run(until=until)
+
+    def metrics_snapshot(self,
+                         include_global: bool = True) -> dict[str, object]:
+        """Every metric of this network, flattened to
+        ``{dotted.name: value}`` — per-node and per-link counters, the
+        scheduler's health, event-log totals, and (by default) the
+        process-wide :data:`repro.obs.GLOBAL` scope's JIT / cache /
+        verifier instruments under a ``global.`` prefix."""
+        snap = self.obs.snapshot()
+        if include_global:
+            from ..obs import GLOBAL
+
+            for key, value in GLOBAL.snapshot().items():
+                snap[f"global.{key}"] = value
+        return snap
 
     @property
     def now(self) -> float:

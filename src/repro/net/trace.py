@@ -28,6 +28,10 @@ from .topology import Network
 class EventKind(enum.Enum):
     RECEIVE = "rx"
     DELIVER = "up"
+    #: packet started transmission on a medium
+    SEND = "tx"
+    #: packet discarded (medium or node); ``info`` ends with the reason
+    DROP = "drop"
 
 
 @dataclass(frozen=True)
@@ -66,14 +70,25 @@ def _describe(packet: Packet) -> tuple[str, str]:
 
 
 class PacketTracer:
-    """Collects receive/deliver events from any set of nodes."""
+    """Collects send/receive/deliver/drop events from nodes and media.
 
-    def __init__(self, net: Network, max_events: int = 100_000):
+    When the network has an observability scope attached
+    (``net.obs``), every traced ``rx`` / ``up`` / ``tx`` event is also
+    mirrored into its structured event log — packet-level logging is
+    opt-in by attaching a tracer, keeping the always-on log small.
+    (Drops are *not* mirrored here; the network's own drop taps already
+    log them unconditionally.)
+    """
+
+    def __init__(self, net: Network, max_events: int = 100_000,
+                 mirror: bool = True):
         self.net = net
         self.max_events = max_events
+        self.mirror = mirror
         self.events: list[TraceEvent] = []
         self.truncated = False
         self._attached: set[str] = set()
+        self._media_attached: set[int] = set()
 
     # -- attachment ----------------------------------------------------------
 
@@ -83,33 +98,67 @@ class PacketTracer:
         self._attached.add(node.name)
         node.receive_taps.append(self._on_receive(node))
         node.delivery_taps.append(self._on_deliver(node))
+        node.drop_taps.append(self._on_node_drop(node))
+
+    def attach_media(self) -> None:
+        """Trace transmissions and drops on every medium."""
+        for medium in self.net.media:
+            if id(medium) in self._media_attached:
+                continue
+            self._media_attached.add(id(medium))
+            medium.add_send_tap(self._on_send)
+            medium.add_drop_tap(self._on_medium_drop)
 
     def attach_all(self) -> None:
         for node in self.net.nodes:
             self.attach(node)
+        self.attach_media()
 
-    def _record(self, node: Node, kind: EventKind,
-                packet: Packet) -> None:
+    def _record(self, node_name: str, kind: EventKind, packet: Packet,
+                suffix: str = "") -> None:
         if len(self.events) >= self.max_events:
             self.truncated = True
             return
         proto, info = _describe(packet)
+        if suffix:
+            info = f"{info} {suffix}".strip()
         self.events.append(TraceEvent(
-            time=self.net.sim.now, node=node.name, kind=kind,
+            time=self.net.sim.now, node=node_name, kind=kind,
             uid=packet.uid, src=packet.ip.src, dst=packet.ip.dst,
             proto=proto, info=info, size=packet.size))
+        if (self.mirror and kind is not EventKind.DROP
+                and self.net.obs is not None):
+            self.net.obs.events.emit(
+                kind.value, node=node_name, uid=packet.uid,
+                src=str(packet.ip.src), dst=str(packet.ip.dst),
+                proto=proto, size=packet.size)
 
     def _on_receive(self, node: Node):
         def tap(packet: Packet, _iface: Interface) -> None:
-            self._record(node, EventKind.RECEIVE, packet)
+            self._record(node.name, EventKind.RECEIVE, packet)
 
         return tap
 
     def _on_deliver(self, node: Node):
         def tap(packet: Packet) -> None:
-            self._record(node, EventKind.DELIVER, packet)
+            self._record(node.name, EventKind.DELIVER, packet)
 
         return tap
+
+    def _on_node_drop(self, node: Node):
+        def tap(packet: Packet, reason: str) -> None:
+            self._record(node.name, EventKind.DROP, packet,
+                         suffix=f"reason={reason}")
+
+        return tap
+
+    def _on_send(self, packet: Packet, sender: Interface) -> None:
+        self._record(sender.node.name, EventKind.SEND, packet)
+
+    def _on_medium_drop(self, packet: Packet, sender: Interface,
+                        reason: str) -> None:
+        self._record(sender.node.name, EventKind.DROP, packet,
+                     suffix=f"reason={reason}")
 
     # -- queries -----------------------------------------------------------------
 

@@ -132,6 +132,14 @@ class DeploymentService:
             PlanPLayer(node)
         node.crash_hooks.append(self._on_crash)
         node.restart_hooks.append(self._on_restart)
+        net.obs.metrics.register(f"deploy.service.{node.name}",
+                                 self._stats_dict)
+
+    def _stats_dict(self) -> dict[str, int]:
+        return {"installed": len(self.installed),
+                "rejected": len(self.rejected),
+                "reinstalled": len(self.reinstalled),
+                "malformed": self.malformed}
 
     # -- protocol ----------------------------------------------------------------
 
@@ -217,6 +225,9 @@ class DeploymentService:
                 verify=transfer.verify, source_name=f"<net:{xfer}>")
         except PlanPError as err:
             self.rejected.append((xfer, err.message))
+            self.net.obs.events.emit("deploy", node=self.node.name,
+                                     action="reject", xfer=xfer,
+                                     reason=err.message)
             self._conclude(src, src_port, xfer,
                            f"REJ {xfer} {err.message}")
             return
@@ -256,6 +267,9 @@ class DeploymentService:
             except PlanPError:  # pragma: no cover - verdicts are cached
                 continue
             self.reinstalled.append(entry.xfer)
+            self.net.obs.events.emit("deploy", node=self.node.name,
+                                     action="reinstall",
+                                     xfer=entry.xfer, sha=entry.sha)
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +468,10 @@ class _TargetTransfer:
         self.status.detail = "timeout" if route is not None \
             else "unreachable"
         self.finish()
+        self.manager.net.obs.events.emit(
+            "deploy", node=self.manager.host.name, action="push-failed",
+            xfer=self.xfer, target=str(self.target),
+            reason=self.status.detail)
 
 
 class DeploymentManager:
@@ -475,6 +493,21 @@ class DeploymentManager:
         self._sources: dict[str,
                             tuple[list[bytes], str, bool, RetryPolicy]] = {}
         self._live: dict[tuple[str, HostAddr], _TargetTransfer] = {}
+        net.obs.metrics.register("deploy.manager", self._stats_dict)
+
+    def _stats_dict(self) -> dict[str, int]:
+        statuses = [s for push in self.pushes.values()
+                    for s in push.values()]
+        return {"pushes": len(self.pushes),
+                "targets_ok": sum(1 for s in statuses if s.ok is True),
+                "targets_failed": sum(1 for s in statuses
+                                      if s.ok is False),
+                "targets_pending": sum(1 for s in statuses
+                                       if s.ok is None),
+                "retries": sum(s.retries for s in statuses),
+                "restarts": sum(s.restarts for s in statuses),
+                "chunks_sent": sum(s.chunks_sent for s in statuses),
+                "late_acks": sum(s.late_acks for s in statuses)}
 
     # -- pushing ------------------------------------------------------------------
 
@@ -493,6 +526,10 @@ class DeploymentManager:
         policy = policy or self.policy
         self.pushes[xfer] = {t: PushStatus(target=t) for t in targets}
         self._sources[xfer] = (chunks, backend, verify, policy)
+        self.net.obs.events.emit("deploy", node=self.host.name,
+                                 action="push", xfer=xfer,
+                                 targets=len(targets),
+                                 chunks=len(chunks))
         for target in targets:
             self._start(xfer, target)
         return xfer
@@ -564,6 +601,9 @@ class DeploymentManager:
             status.cache_hit = parts[3] == "1" if len(parts) > 3 else None
             if live is not None:
                 live.finish()
+            self.net.obs.events.emit("deploy", node=self.host.name,
+                                     action="push-ok", xfer=xfer,
+                                     target=str(src))
         elif verdict == "REJ":
             reason = " ".join(parts[2:])
             if live is not None and \
@@ -574,6 +614,9 @@ class DeploymentManager:
                 status.detail = reason
                 if live is not None:
                     live.finish()
+                self.net.obs.events.emit("deploy", node=self.host.name,
+                                         action="push-rej", xfer=xfer,
+                                         target=str(src), reason=reason)
         elif verdict == "BEGACK":
             if live is not None:
                 live.on_begack()

@@ -38,6 +38,7 @@ from ..net.addresses import HostAddr
 from ..net.node import Interface, Node
 from ..net.packet import Packet
 from ..net.sim import SerialResource
+from ..obs.metrics import Histogram
 from . import codec
 
 
@@ -98,6 +99,21 @@ class PlanPLayer:
         #: the match computed by wants(), carried into process() so a
         #: packet is classified exactly once: (packet uid, hit | None)
         self._carry: tuple[int, tuple | None] | None = None
+        #: opt-in per-packet processing-time histogram (ms); ``None``
+        #: keeps the hot path at a single truthiness check
+        self.profile: Histogram | None = None
+
+    def enable_profiling(self) -> Histogram:
+        """Time every channel invocation into the node network's
+        ``asp.process_ms`` histogram (or a private one when the node is
+        not part of a :class:`~repro.net.topology.Network`)."""
+        if self.profile is None:
+            obs = self.node.obs
+            if obs is not None:
+                self.profile = obs.metrics.histogram("asp.process_ms")
+            else:
+                self.profile = Histogram("asp.process_ms")
+        return self.profile
 
     # -- program installation ---------------------------------------------------
 
@@ -133,6 +149,12 @@ class PlanPLayer:
             for decl in channels}
         self._dispatch = self._build_dispatch_table(channels)
         self._carry = None
+        obs = self.node.obs
+        if obs is not None:
+            obs.events.emit("deploy", node=self.node.name,
+                            action="install",
+                            sha=loaded.source_sha or "",
+                            engine=type(self.engine).__name__)
 
     def _build_dispatch_table(
             self, channels: list[ast.ChannelDecl],
@@ -249,15 +271,26 @@ class PlanPLayer:
         emitted_before = (self.stats.packets_emitted
                           + self.stats.packets_delivered)
         try:
-            ps, ss = self.engine.run_channel(
-                decl, self.protocol_state, self.channel_states[id(decl)],
-                value, self)
-        except PlanPError:
+            if self.profile is None:
+                ps, ss = self.engine.run_channel(
+                    decl, self.protocol_state,
+                    self.channel_states[id(decl)], value, self)
+            else:
+                with self.profile.time():
+                    ps, ss = self.engine.run_channel(
+                        decl, self.protocol_state,
+                        self.channel_states[id(decl)], value, self)
+        except PlanPError as err:
             # Fail open: the node survives and the error is visible in
             # stats.  The packet gets standard treatment only if the
             # failed invocation had not already emitted it - otherwise
             # falling back would duplicate it.
             self.stats.runtime_errors += 1
+            obs = self.node.obs
+            if obs is not None:
+                obs.events.emit("error", node=self.node.name,
+                                where="asp", channel=decl.name,
+                                detail=str(err))
             emitted_after = (self.stats.packets_emitted
                              + self.stats.packets_delivered)
             if emitted_after == emitted_before:

@@ -1,0 +1,168 @@
+"""``obsdump`` — inspect the observability layer from the shell.
+
+    python -m repro.tools.obsdump demo
+    python -m repro.tools.obsdump audio --quick
+    python -m repro.tools.obsdump http --quick --events-limit 50
+    python -m repro.tools.obsdump images --json out.json
+    python -m repro.tools.obsdump mpeg --quick
+    python -m repro.tools.obsdump microbench
+
+Each mode runs one scenario and dumps its metrics snapshot as sorted
+JSON on stdout; ``--events`` additionally prints the structured event
+log as JSON lines (``demo`` prints events by default — that is what it
+is for).  ``--json PATH`` writes ``{"metrics": ..., "events": [...]}``
+to a file instead, which is the shape the CI artifact uses.
+
+``demo`` builds a deliberately eventful little network: an ASP deployed
+over the wire, a congested bottleneck link dropping packets, and a
+scripted link flap — so every event kind (``deploy``, ``drop``,
+``fault``, ``jit``) shows up in one run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..obs import GLOBAL
+
+MODES = ("demo", "audio", "http", "images", "mpeg", "microbench")
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def _run_demo() -> tuple[dict, list]:
+    """A small network exercising every event kind."""
+    from ..asps import audio_router_asp
+    from ..net.topology import Network
+    from ..runtime.netdeploy import DeploymentManager, DeploymentService
+
+    net = Network(seed=7)
+    manager_host = net.add_host("mgr")
+    router = net.add_router("r1")
+    sink = net.add_host("sink")
+    uplink = net.link(manager_host, router, bandwidth=1e6)
+    # A deliberately narrow bottleneck: pushing datagrams through it
+    # overruns the 4-packet queue and produces drop events.
+    net.link(router, sink, bandwidth=64_000, queue_limit=4)
+    net.finalize()
+
+    DeploymentService(net, router)
+    manager = DeploymentManager(net, manager_host)
+    manager.push(audio_router_asp(), [router.address])
+
+    # Congestion: blast datagrams at the sink through the bottleneck.
+    socket = net.udp(manager_host).bind()
+    for i in range(40):
+        net.sim.at(0.5 + i * 0.001,
+                   lambda: socket.sendto(sink.address, 9, b"x" * 512))
+
+    # A link flap mid-run (fault events + reconvergence).
+    net.faults.at(1.0, net.faults.link_down, uplink)
+    net.faults.at(1.5, net.faults.link_up, uplink)
+
+    net.run(until=3.0)
+    events = [record.to_dict() for record in net.obs.events.filter()]
+    return net.metrics_snapshot(), events
+
+
+def _run_audio(quick: bool) -> tuple[dict, list]:
+    from ..apps.audio import run_audio_experiment
+
+    result = run_audio_experiment(duration=10.0 if quick else 45.0)
+    return result.metrics, []
+
+
+def _run_http(quick: bool) -> tuple[dict, list]:
+    from ..apps.http import run_http_experiment
+
+    result = run_http_experiment("asp", 4,
+                                 duration=4.0 if quick else 12.0,
+                                 warmup=1.0 if quick else 3.0)
+    return result.metrics, []
+
+
+def _run_images(quick: bool) -> tuple[dict, list]:
+    from ..apps.images import run_image_experiment
+
+    result = run_image_experiment(distillation=True)
+    return result.metrics, []
+
+
+def _run_mpeg(quick: bool) -> tuple[dict, list]:
+    from ..apps.mpeg import run_mpeg_experiment
+
+    result = run_mpeg_experiment(use_asps=True, n_clients=3,
+                                 duration=5.0 if quick else 15.0)
+    return result.metrics, []
+
+
+def _run_microbench(quick: bool) -> tuple[dict, list]:
+    from ..experiments.microbench import run_engine_microbench
+
+    n = 2_000 if quick else 20_000
+    for engine in ("interpreter", "closure", "source", "builtin"):
+        run_engine_microbench(engine, n_packets=n)
+    events = [record.to_dict() for record in GLOBAL.events.filter()]
+    return GLOBAL.snapshot(), events
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.obsdump",
+        description="dump metrics snapshots and event logs")
+    parser.add_argument("mode", choices=MODES, nargs="?", default="demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink scenario durations")
+    parser.add_argument("--events", action="store_true",
+                        help="also print the event log as JSON lines")
+    parser.add_argument("--events-limit", type=int, default=None,
+                        metavar="N", help="print at most N events")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write {metrics, events} JSON to a file")
+    args = parser.parse_args(argv)
+
+    if args.mode == "demo":
+        metrics, events = _run_demo()
+        show_events = True
+    elif args.mode == "microbench":
+        metrics, events = _run_microbench(args.quick)
+        show_events = args.events
+    else:
+        runner = {"audio": _run_audio, "http": _run_http,
+                  "images": _run_images, "mpeg": _run_mpeg}[args.mode]
+        metrics, events = runner(args.quick)
+        show_events = args.events and events
+
+    if args.json:
+        with open(args.json, "w") as fp:
+            json.dump({"mode": args.mode, "metrics": metrics,
+                       "events": events}, fp, indent=2, sort_keys=True,
+                      default=str)
+        print(f"wrote {args.json}", file=sys.stderr)
+        return 0
+
+    json.dump(metrics, sys.stdout, indent=2, sort_keys=True, default=str)
+    sys.stdout.write("\n")
+    if show_events:
+        limited = events[:args.events_limit] \
+            if args.events_limit is not None else events
+        for record in limited:
+            sys.stdout.write(json.dumps(record, default=str) + "\n")
+        if len(limited) < len(events):
+            print(f"... {len(events) - len(limited)} more events",
+                  file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,3 +154,39 @@ class TestLoadMonitor:
             LoadMonitor(window=0)
         with pytest.raises(ValueError):
             LoadMonitor(window=1.0, bucket=2.0)
+
+    # -- warm-up regression -------------------------------------------------
+    #
+    # Before the window has filled, the rate must divide by the elapsed
+    # time, not the full window: the old behaviour underreported early
+    # rates (1000 B at t=0.05 read as 16 kbit/s instead of 160), which
+    # biased the audio ASP's first adaptation decisions toward "plenty
+    # of headroom".
+
+    def test_warmup_divides_by_elapsed_not_window(self):
+        monitor = LoadMonitor(window=1.0, bucket=0.1)
+        monitor.record(0.05, 1000)
+        # 8000 bits over 0.5 s elapsed = 16 kbit/s (not 8 over 1.0 s).
+        assert monitor.rate_bps(0.5) == pytest.approx(16_000)
+        assert monitor.rate_kbps(0.5) == 16
+
+    def test_warmup_floored_at_one_bucket(self):
+        monitor = LoadMonitor(window=1.0, bucket=0.1)
+        monitor.record(0.01, 1000)
+        # A lone packet at t≈0 must not extrapolate to an absurd rate:
+        # the denominator bottoms out at the bucket width.
+        assert monitor.rate_bps(0.02) == pytest.approx(8000 / 0.1)
+
+    def test_full_window_uses_window_denominator(self):
+        monitor = LoadMonitor(window=1.0, bucket=0.1)
+        monitor.record(1.95, 1000)
+        # Past warm-up the denominator is the window even though the
+        # bytes arrived in its last bucket.
+        assert monitor.rate_bps(2.0) == pytest.approx(8000)
+
+    def test_warmup_rate_is_continuous_at_window_edge(self):
+        monitor = LoadMonitor(window=1.0, bucket=0.1)
+        monitor.record(0.5, 5000)
+        just_before = monitor.rate_bps(0.999)
+        at_edge = monitor.rate_bps(1.0)
+        assert just_before == pytest.approx(at_edge, rel=0.01)

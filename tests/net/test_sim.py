@@ -1,6 +1,10 @@
 """Discrete-event engine tests."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net.sim import PeriodicTask, SerialResource, Simulator
 
@@ -228,3 +232,95 @@ class TestSerialResource:
             lambda: done.append(sim.now)))
         sim.run()
         assert done == [1.0, 11.0]
+
+
+# -- scheduler bookkeeping invariants -----------------------------------------
+#
+# The lazy-deletion scheme keeps three facts in sync: the O(1)
+# ``pending_events`` counter, the cancelled-entry counter that triggers
+# compaction, and the heap itself.  These properties drive random
+# interleavings of schedule / cancel / run (including cancelling
+# already-run and already-cancelled events, which must be no-ops) and
+# check the counters against a brute-force walk of the heap after every
+# operation.
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(0, 30)),
+        st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+        st.tuples(st.just("run"), st.integers(0, 40)),
+    ),
+    min_size=1, max_size=80)
+
+
+def _check_counters(sim):
+    live = sum(1 for e in sim._queue if not e.cancelled)
+    cancelled = sum(1 for e in sim._queue if e.cancelled)
+    assert sim.pending_events == live
+    assert sim._cancelled == cancelled
+    assert sim._live == live
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_ops)
+    def test_counters_match_heap_under_interleaving(self, ops):
+        sim = Simulator()
+        handles = []
+        for op, arg in ops:
+            if op == "schedule":
+                handles.append(sim.schedule(arg / 10.0, lambda: None))
+            elif op == "cancel" and handles:
+                # May hit pending, already-cancelled, or already-run
+                # events — the latter two must be no-ops.
+                handles[arg % len(handles)].cancel()
+            elif op == "run":
+                sim.run(until=sim.now + arg / 10.0)
+            _check_counters(sim)
+        sim.run()
+        _check_counters(sim)
+        assert sim.pending_events == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(64, 120), seed=st.integers(0, 2**16))
+    def test_compaction_preserves_order_and_counts(self, n, seed):
+        sim = Simulator()
+        ran = []
+        handles = [sim.schedule(i / 10.0, lambda i=i: ran.append(i))
+                   for i in range(n)]
+        rng = random.Random(seed)
+        victims = rng.sample(range(n), int(n * 0.8))
+        for i in victims:
+            handles[i].cancel()  # past n/2 cancels this compacts
+            _check_counters(sim)
+        sim.run()
+        survivors = sorted(set(range(n)) - set(victims))
+        assert ran == survivors  # order survives the re-heapify
+        _check_counters(sim)
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        before = sim.stats()
+        handle.cancel()
+        handle.cancel()
+        assert sim.stats() == before
+        assert not handle.cancelled  # it ran; it was never cancelled
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim._cancelled == 1
+        assert sim.pending_events == 0
+
+    def test_stats_shape(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        stats = sim.stats()
+        assert stats == {"now": 0.0, "events_processed": 0,
+                         "pending_events": 1, "cancelled_pending": 1,
+                         "heap_size": 2}

@@ -86,3 +86,80 @@ class TestTracing:
                                 predicate=lambda e:
                                 e.kind is EventKind.RECEIVE)
         assert len(rx_at_r) == 1
+
+
+class TestSendAndDropTracing:
+    def test_send_events_recorded_along_path(self):
+        net, a, r, b, tracer = traced_line()
+        packet = udp_packet(a.address, b.address, 1, 2, b"x")
+        a.ip_send(packet)
+        net.run()
+        tx_nodes = [e.node for e in tracer.filter(uid=packet.uid)
+                    if e.kind is EventKind.SEND]
+        assert tx_nodes == ["a", "r"]  # once per hop, stamped by sender
+
+    def test_queue_drop_appears_in_rendered_trace(self):
+        net = Network(seed=5)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.link(a, b, bandwidth=64_000, queue_limit=1)
+        net.finalize()
+        tracer = PacketTracer(net)
+        tracer.attach_all()
+        dropped = []
+        for _ in range(6):
+            packet = udp_packet(a.address, b.address, 1, 2, b"x" * 500)
+            a.ip_send(packet)
+            dropped.append(packet.uid)
+        net.run()
+        drops = [e for e in tracer.events if e.kind is EventKind.DROP]
+        assert drops and all(e.info.endswith("reason=queue")
+                             for e in drops)
+        assert {e.uid for e in drops} <= set(dropped)
+        text = tracer.render()
+        assert "drop" in text and "reason=queue" in text
+
+    def test_downed_link_drop_traced_with_reason(self):
+        net, a, r, b, tracer = traced_line()
+        # Down the medium directly (the fault controller would also
+        # recompute routes, turning this into a no-route node drop).
+        net.media[0].up = False  # the a--r link
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        (drop,) = [e for e in tracer.events
+                   if e.kind is EventKind.DROP]
+        assert drop.node == "a"
+        assert drop.info.endswith("reason=down")
+
+    def test_no_route_after_fault_recompute_traced(self):
+        net, a, r, b, tracer = traced_line()
+        net.faults.link_down(net.media[0])  # recomputes routes too
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        (drop,) = [e for e in tracer.events
+                   if e.kind is EventKind.DROP]
+        assert drop.node == "a"
+        assert drop.info.endswith("reason=no-route")
+
+    def test_traced_packets_mirrored_into_event_log(self):
+        net, a, r, b, tracer = traced_line()
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        kinds = {e.kind for e in net.obs.events.events}
+        assert {"tx", "rx", "up"} <= kinds
+        # Drops are not mirrored by the tracer (the network's own drop
+        # taps log them); with no drops here the log has no drop events.
+        assert "drop" not in kinds
+
+    def test_mirror_opt_out(self):
+        net = Network(seed=5)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.link(a, b)
+        net.finalize()
+        tracer = PacketTracer(net, mirror=False)
+        tracer.attach_all()
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        net.run()
+        assert tracer.events  # traced...
+        assert len(net.obs.events) == 0  # ...but not logged

@@ -1,0 +1,103 @@
+"""Event log unit tests: emission, clocking, bounds, serialisation."""
+
+import io
+import json
+
+from repro.obs.events import EventLog, EventRecord
+
+
+def sim_clocked(start: float = 0.0) -> tuple[EventLog, list[float]]:
+    """An EventLog driven by a fake simulated clock we can advance."""
+    now = [start]
+    return EventLog(clock=lambda: now[0]), now
+
+
+class TestEmission:
+    def test_records_carry_clock_time_and_fields(self):
+        log, now = sim_clocked()
+        now[0] = 1.25
+        log.emit("drop", node="r1", reason="queue", site="a-r1")
+        (event,) = log.events
+        assert event.t == 1.25
+        assert event.kind == "drop"
+        assert event.node == "r1"
+        assert event.data == {"reason": "queue", "site": "a-r1"}
+
+    def test_disabled_log_records_nothing(self):
+        log, _now = sim_clocked()
+        log.enabled = False
+        log.emit("fault")
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_bounded_buffer_counts_overflow(self):
+        log = EventLog(clock=lambda: 0.0, max_events=3)
+        for i in range(5):
+            log.emit("send", uid=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        # The oldest events are the ones kept (head of the stream).
+        assert [e.data["uid"] for e in log.events] == [0, 1, 2]
+
+    def test_clear_resets_buffer_and_dropped(self):
+        log = EventLog(clock=lambda: 0.0, max_events=1)
+        log.emit("a")
+        log.emit("b")
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+
+class TestQueries:
+    def test_filter_by_kind_node_predicate(self):
+        log, now = sim_clocked()
+        log.emit("drop", node="r1", reason="queue")
+        now[0] = 2.0
+        log.emit("drop", node="r2", reason="ttl")
+        log.emit("fault", detail="link down")
+        assert len(log.filter(kind="drop")) == 2
+        assert [e.node for e in log.filter(node="r2")] == ["r2"]
+        late = log.filter(predicate=lambda e: e.t >= 2.0)
+        assert len(late) == 2
+
+    def test_counts_by_kind(self):
+        log, _now = sim_clocked()
+        log.emit("drop")
+        log.emit("drop")
+        log.emit("jit")
+        assert log.counts() == {"drop": 2, "jit": 1}
+
+
+class TestSerialisation:
+    def test_record_to_dict_merges_data(self):
+        record = EventRecord(t=0.5, kind="deploy", node="mgr",
+                             data={"action": "push"})
+        assert record.to_dict() == {"t": 0.5, "kind": "deploy",
+                                    "node": "mgr", "action": "push"}
+
+    def test_to_dict_omits_empty_node(self):
+        record = EventRecord(t=0.0, kind="jit")
+        assert "node" not in record.to_dict()
+
+    def test_jsonl_round_trips(self):
+        log, _now = sim_clocked()
+        log.emit("drop", node="r1", reason="queue")
+        log.emit("fault", detail="x")
+        lines = log.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["kind"] for p in parsed] == ["drop", "fault"]
+        assert parsed[0]["reason"] == "queue"
+
+    def test_to_jsonl_kind_filter_and_limit(self):
+        log, _now = sim_clocked()
+        for i in range(4):
+            log.emit("send", uid=i)
+        log.emit("drop", uid=99)
+        lines = log.to_jsonl(kind="send", limit=2).splitlines()
+        assert [json.loads(line)["uid"] for line in lines] == [2, 3]
+
+    def test_dump_writes_jsonl_and_returns_count(self):
+        log, _now = sim_clocked()
+        log.emit("a")
+        log.emit("b")
+        sink = io.StringIO()
+        assert log.dump(sink) == 2
+        assert len(sink.getvalue().splitlines()) == 2
