@@ -1,0 +1,105 @@
+"""Harness benchmark: parallel sweeps are faster and byte-identical.
+
+Runs the full standard matrix twice — serially, then fanned out over
+4 worker processes — and asserts:
+
+1. every result record is byte-identical between the two runs (the
+   determinism contract the cache and the report depend on);
+2. the parallel sweep is at least 3x faster wall-clock — asserted only
+   on machines with >= 4 CPUs (a process pool cannot beat a serial
+   loop on one core; the measured ratio is recorded regardless);
+3. a re-run against the populated store is pure cache hits.
+
+Results land in ``BENCH_harness.json`` at the repo root.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ResultStore, Runner, standard_matrix
+
+from .conftest import print_table, shape_check
+
+RESULTS_FILE = Path(__file__).parent.parent / "BENCH_harness.json"
+PARALLEL_WORKERS = 4
+
+
+def canonical(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class TestParallelSweep:
+    @pytest.fixture(scope="class")
+    def sweeps(self, tmp_path_factory):
+        scenarios = standard_matrix()
+        serial_store = ResultStore(tmp_path_factory.mktemp("serial"))
+        serial = Runner(serial_store, workers=1,
+                        use_cache=False).sweep(scenarios)
+        parallel_store = ResultStore(tmp_path_factory.mktemp("par"))
+        parallel = Runner(parallel_store, workers=PARALLEL_WORKERS,
+                          use_cache=False).sweep(scenarios)
+        resumed = Runner(serial_store, workers=1).sweep(scenarios)
+
+        speedup = serial.wall_s / parallel.wall_s
+        print_table(
+            "Harness: standard matrix, serial vs parallel",
+            ["run", "scenarios", "wall s"],
+            [["serial (1 worker)", len(serial.lines),
+              f"{serial.wall_s:.1f}"],
+             [f"parallel ({PARALLEL_WORKERS} workers)",
+              len(parallel.lines), f"{parallel.wall_s:.1f}"],
+             ["re-run (cache)", len(resumed.lines),
+              f"{resumed.wall_s:.2f}"],
+             ["speedup", "", f"{speedup:.2f}x"],
+             ["cpu_count", "", str(os.cpu_count())]])
+
+        doc = {"parallel_sweep": {
+            "cpu_count": os.cpu_count(),
+            "workers": PARALLEL_WORKERS,
+            "n_scenarios": len(serial.lines),
+            "serial_wall_s": round(serial.wall_s, 2),
+            "parallel_wall_s": round(parallel.wall_s, 2),
+            "speedup": round(speedup, 2),
+            "byte_identical": serial.records_by_name()
+            == parallel.records_by_name(),
+            "cache_rerun_wall_s": round(resumed.wall_s, 3),
+            "serial_elapsed_s": {
+                line["scenario"]: line["elapsed_s"]
+                for line in serial.lines},
+        }}
+        RESULTS_FILE.write_text(json.dumps(doc, indent=2,
+                                           sort_keys=True) + "\n")
+        return serial, parallel, resumed
+
+    def test_records_byte_identical(self, benchmark, sweeps):
+        shape_check(benchmark)
+        serial, parallel, _ = sweeps
+        serial_records = serial.records_by_name()
+        parallel_records = parallel.records_by_name()
+        assert set(serial_records) == set(parallel_records)
+        for name, record in serial_records.items():
+            assert canonical(record) \
+                == canonical(parallel_records[name]), name
+
+    def test_parallel_speedup(self, benchmark, sweeps):
+        shape_check(benchmark)
+        serial, parallel, _ = sweeps
+        speedup = serial.wall_s / parallel.wall_s
+        if (os.cpu_count() or 1) >= 4:
+            assert speedup >= 3.0, \
+                f"only {speedup:.2f}x at {PARALLEL_WORKERS} workers"
+        else:
+            print(f"(speedup {speedup:.2f}x recorded, not asserted: "
+                  f"only {os.cpu_count()} CPUs)")
+
+    def test_rerun_is_pure_cache(self, benchmark, sweeps):
+        shape_check(benchmark)
+        serial, _, resumed = sweeps
+        assert resumed.ran == []
+        assert sorted(resumed.cached) \
+            == sorted(s.name for s in standard_matrix())
+        assert resumed.records_by_name() == serial.records_by_name()

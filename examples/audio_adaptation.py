@@ -32,8 +32,9 @@ def main() -> None:
 
     print("\nfigure 7 — silent periods under constant load, with vs "
           "without adaptation:")
-    sweep = run_gap_sweep([1_000_000, 1_500_000, 1_900_000],
-                          duration=30.0)
+    sweep = run_gap_sweep(
+        load_levels_bps=[1_000_000, 1_500_000, 1_900_000],
+        duration=30.0)
     print(f"  {'load':>10s} {'with-ASP':>9s} {'without':>9s}")
     for load, row in sweep.items():
         print(f"  {load/1e6:9.1f}M {row['with_adaptation']:9d} "

@@ -15,7 +15,8 @@ def main() -> None:
     n_clients = 8
     results = {}
     for mode in ("single", "asp", "builtin", "disjoint"):
-        results[mode] = run_http_experiment(mode, n_clients,
+        results[mode] = run_http_experiment(mode=mode,
+                                            n_clients=n_clients,
                                             duration=12.0, warmup=3.0)
 
     print(f"{'configuration':12s} {'throughput':>12s} {'latency':>9s} "

@@ -5,7 +5,8 @@ from .codec import (decode_frame, degrade, encode_frame, frame_kbps,
                     generate_pcm_stereo16, restore_to_stereo16,
                     samples_per_frame)
 from .experiment import (AUDIO_GROUP, FIG6_SCHEDULE, AudioExperimentResult,
-                         run_audio_experiment, run_gap_sweep)
+                         GapSweepResult, run_audio_experiment,
+                         run_gap_sweep)
 from .loadgen import LoadGenerator
 from .source import AudioSource
 
@@ -16,6 +17,7 @@ __all__ = [
     "AudioExperimentResult",
     "AudioSource",
     "BandwidthSample",
+    "GapSweepResult",
     "LoadGenerator",
     "SilentPeriod",
     "decode_frame",

@@ -12,11 +12,14 @@ Time is scaled: the paper's 450-second run with breakpoints at 100 / 220
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable
 
 from ...asps.audio import (AUDIO_PORT, FMT_MONO16, FMT_MONO8, FMT_STEREO16,
                            audio_client_asp, audio_router_asp)
+from ...experiments.compat import keyword_only
+from ...experiments.result import LegacyResult
 from ...net.topology import Network
+from ...obs import Observability
 from ...runtime.deployment import Deployment
 from .client import AudioClient, BandwidthSample
 from .loadgen import LoadGenerator
@@ -73,19 +76,32 @@ class _WireTap:
         return out
 
 
-@dataclass
-class AudioExperimentResult:
-    adaptation: bool
-    duration: float
-    bandwidth_series: list[BandwidthSample]
-    silent_periods: int
-    frames_sent: int
-    frames_received: int
-    quality_fractions: dict[int, float]
-    restored: bool
-    segment_drops: int
-    #: full metrics snapshot of the network, taken at the end of the run
-    metrics: dict = field(default_factory=dict)
+class AudioExperimentResult(LegacyResult):
+    """Unified result of the figure 5/6/7 audio run.
+
+    ``params``: ``adaptation``, ``duration``; ``figures``:
+    ``bandwidth_series`` (list of :class:`BandwidthSample`),
+    ``silent_periods``, ``frames_sent``, ``frames_received``,
+    ``quality_fractions``, ``restored``, ``segment_drops``.  The flat
+    legacy attributes (``result.silent_periods`` …) keep resolving for
+    one release.
+    """
+
+    _EXPERIMENT = "audio"
+    _PARAM_FIELDS = ("adaptation", "duration")
+
+    def _rehydrate(self) -> None:
+        series = self.figures.get("bandwidth_series")
+        if series and isinstance(series[0], dict):
+            self.figures["bandwidth_series"] = [
+                BandwidthSample(
+                    time=s["time"], kbps=s["kbps"], quality=s["quality"],
+                    formats={int(k): v for k, v in s["formats"].items()})
+                for s in series]
+        fractions = self.figures.get("quality_fractions")
+        if fractions:
+            self.figures["quality_fractions"] = {
+                int(k): v for k, v in fractions.items()}
 
     def dominant_quality_between(self, start: float, end: float) -> int:
         """The most common quality level in a time window (for asserting
@@ -118,15 +134,20 @@ def run_audio_experiment(*, adaptation: bool = True,
                          | None = None,
                          constant_load_bps: float | None = None,
                          backend: str = "closure",
-                         seed: int = 7) -> AudioExperimentResult:
+                         seed: int = 7,
+                         obs: Observability | None = None,
+                         tracer: Callable[[Network], object]
+                         | None = None) -> AudioExperimentResult:
     """Run the figure 5 topology for ``duration`` simulated seconds.
 
     ``load_schedule`` entries are (absolute time, offered bps); when
     omitted, the figure 6 schedule is scaled to ``duration``.
     ``constant_load_bps`` overrides the schedule with a flat load (used
-    by the figure 7 sweep).
+    by the figure 7 sweep).  ``obs`` supplies an external observability
+    scope; ``tracer`` is called with the finalized network before any
+    traffic starts (e.g. ``lambda net: PacketTracer(net).attach_all()``).
     """
-    net = Network(seed=seed)
+    net = Network(seed=seed, obs=obs)
     source_host = net.add_host("audio-source")
     router = net.add_router("router")
     client_host = net.add_host("client")
@@ -139,6 +160,8 @@ def run_audio_experiment(*, adaptation: bool = True,
     for node in (router, client_host, loadgen_host, sink_host):
         net.attach(node, segment)
     net.finalize()
+    if tracer is not None:
+        tracer(net)
     group = net.multicast_group(AUDIO_GROUP, source_host, [client_host])
 
     source = AudioSource(net, source_host, group)
@@ -171,6 +194,7 @@ def run_audio_experiment(*, adaptation: bool = True,
     net.run(until=duration)
 
     return AudioExperimentResult(
+        seed=seed,
         adaptation=adaptation,
         duration=duration,
         bandwidth_series=wire.series(),
@@ -185,7 +209,19 @@ def run_audio_experiment(*, adaptation: bool = True,
         metrics=net.metrics_snapshot())
 
 
-def run_gap_sweep(load_levels_bps: list[float], *,
+class GapSweepResult(LegacyResult):
+    """Unified result of the figure 7 sweep.  ``figures["sweep"]`` maps
+    ``str(offered bps)`` to the with/without silent-period and frame
+    counts."""
+
+    _EXPERIMENT = "audio_gap_sweep"
+
+    def level(self, load_bps: float) -> dict[str, int]:
+        return self.figures["sweep"][str(load_bps)]
+
+
+@keyword_only("load_levels_bps")
+def run_gap_sweep(*, load_levels_bps: list[float],
                   duration: float = 60.0, backend: str = "closure",
                   seed: int = 7) -> dict[float, dict[str, int]]:
     """The figure 7 sweep: silent periods with and without adaptation

@@ -2,8 +2,8 @@
 
 from .client import CompletedRequest, HttpClientWorker
 from .cluster import ClusterManager, HealthResponder
-from .experiment import (MODES, HttpExperimentResult, run_fig8_sweep,
-                         run_http_experiment)
+from .experiment import (MODES, Fig8SweepResult, HttpExperimentResult,
+                         run_fig8_sweep, run_http_experiment)
 from .gateway_c import BuiltinGateway, GatewayStats
 from .server import HTTP_PORT, HttpServer, ServedRequest
 from .trace import Trace, TraceEntry, generate_trace
@@ -13,6 +13,7 @@ __all__ = [
     "ClusterManager",
     "HealthResponder",
     "CompletedRequest",
+    "Fig8SweepResult",
     "GatewayStats",
     "HTTP_PORT",
     "HttpClientWorker",

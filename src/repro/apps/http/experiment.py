@@ -16,10 +16,13 @@ claims:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable
 
 from ...asps.http import http_gateway_asp
+from ...experiments.compat import keyword_only
+from ...experiments.result import LegacyResult
 from ...net.topology import Network
+from ...obs import Observability
 from ...runtime.deployment import Deployment
 from .client import HttpClientWorker
 from .gateway_c import BuiltinGateway
@@ -29,20 +32,20 @@ from .trace import Trace, generate_trace
 MODES = ("single", "asp", "builtin", "disjoint")
 
 
-@dataclass
-class HttpExperimentResult:
-    mode: str
-    n_clients: int
-    duration: float
-    warmup: float
-    throughput_rps: float
-    mean_latency_s: float
-    per_server_served: dict[str, int]
-    completed: int
-    failures: int
-    codegen_ms: float | None = None
-    #: full metrics snapshot of the network, taken at the end of the run
-    metrics: dict = field(default_factory=dict)
+class HttpExperimentResult(LegacyResult):
+    """Unified result of one figure 8 configuration.
+
+    ``params``: ``mode``, ``n_clients``, ``duration``, ``warmup``;
+    ``figures``: ``throughput_rps``, ``mean_latency_s``,
+    ``per_server_served``, ``completed``, ``failures`` and the
+    wall-clock ``codegen_ms`` (volatile: excluded from the canonical
+    record).  Flat legacy attribute access keeps working for one
+    release.
+    """
+
+    _EXPERIMENT = "http"
+    _PARAM_FIELDS = ("mode", "n_clients", "duration", "warmup")
+    _VOLATILE_FIGURES = ("codegen_ms",)
 
     @property
     def balance_ratio(self) -> float:
@@ -61,21 +64,25 @@ class HttpExperimentResult:
 GATEWAY_CPU_S = 160e-6
 
 
-def run_http_experiment(mode: str, n_clients: int, *,
+@keyword_only("mode", "n_clients")
+def run_http_experiment(*, mode: str, n_clients: int,
                         duration: float = 30.0, warmup: float = 5.0,
                         n_servers: int = 2, workers_per_client: int = 1,
                         backend: str = "closure",
                         strategy: str = "modulo",
                         gateway_cpu_s: float = GATEWAY_CPU_S,
                         trace: Trace | None = None,
-                        seed: int = 11) -> HttpExperimentResult:
+                        seed: int = 11,
+                        obs: Observability | None = None,
+                        tracer: Callable[[Network], object]
+                        | None = None) -> HttpExperimentResult:
     """Run one figure 8 configuration at one offered load level."""
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick from {MODES}")
     if trace is None:
         trace = generate_trace(8000, seed=seed)
 
-    net = Network(seed=seed)
+    net = Network(seed=seed, obs=obs)
     gateway = net.add_router("gateway")
 
     server_hosts = []
@@ -91,6 +98,8 @@ def run_http_experiment(mode: str, n_clients: int, *,
         client_hosts.append(host)
 
     net.finalize()
+    if tracer is not None:
+        tracer(net)
 
     servers = [HttpServer(net, host, trace.sizes)
                for host in server_hosts]
@@ -137,6 +146,7 @@ def run_http_experiment(mode: str, n_clients: int, *,
     latencies = [r.latency for w in workers for r in w.completed
                  if warmup <= r.completed < duration]
     return HttpExperimentResult(
+        seed=seed,
         mode=mode,
         n_clients=n_clients,
         duration=duration,
@@ -152,7 +162,19 @@ def run_http_experiment(mode: str, n_clients: int, *,
         metrics=net.metrics_snapshot())
 
 
-def run_fig8_sweep(client_counts: list[int], *,
+class Fig8SweepResult(LegacyResult):
+    """Unified result of the figure 8 sweep.  ``figures["curves"]``
+    maps mode to a list of per-load summaries (client count,
+    throughput, latency, balance)."""
+
+    _EXPERIMENT = "http_fig8_sweep"
+
+    def curve(self, mode: str) -> list[dict[str, object]]:
+        return self.figures["curves"][mode]
+
+
+@keyword_only("client_counts")
+def run_fig8_sweep(*, client_counts: list[int],
                    modes: tuple[str, ...] = ("single", "asp", "builtin"),
                    duration: float = 30.0, backend: str = "closure",
                    seed: int = 11) -> dict[str, list[HttpExperimentResult]]:
@@ -161,7 +183,8 @@ def run_fig8_sweep(client_counts: list[int], *,
     curves: dict[str, list[HttpExperimentResult]] = {}
     for mode in modes:
         curves[mode] = [
-            run_http_experiment(mode, n, duration=duration,
-                                backend=backend, trace=trace, seed=seed)
+            run_http_experiment(mode=mode, n_clients=n,
+                                duration=duration, backend=backend,
+                                trace=trace, seed=seed)
             for n in client_counts]
     return curves

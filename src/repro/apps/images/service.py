@@ -10,14 +10,17 @@ networks").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from ...asps.images import IMAGE_PORT, image_distiller_asp
+from ...experiments.result import LegacyResult
 from ...interp.image_prims import decode_image
 from ...lang.errors import PlanPError
 from ...net.addresses import HostAddr
 from ...net.node import Host
 from ...net.topology import Network
+from ...obs import Observability
 from ...runtime.deployment import Deployment
 from .library import build_library
 
@@ -127,14 +130,19 @@ class ImageClient:
             width=pixels.shape[1], height=pixels.shape[0]))
 
 
-@dataclass
-class ImageExperimentResult:
-    distillation: bool
-    slow_kbps: int
-    fetches: list[FetchResult]
-    distilled_count: int
-    #: full metrics snapshot of the network, taken at the end of the run
-    metrics: dict = field(default_factory=dict)
+class ImageExperimentResult(LegacyResult):
+    """Unified result of the §5 distillation run.  ``params``:
+    ``distillation``, ``slow_kbps``; ``figures``: ``fetches`` (list of
+    :class:`FetchResult`), ``distilled_count``.  Flat legacy attribute
+    access keeps working for one release."""
+
+    _EXPERIMENT = "images"
+    _PARAM_FIELDS = ("distillation", "slow_kbps")
+
+    def _rehydrate(self) -> None:
+        fetches = self.figures.get("fetches")
+        if fetches and isinstance(fetches[0], dict):
+            self.figures["fetches"] = [FetchResult(**f) for f in fetches]
 
     def mean_latency(self) -> float:
         if not self.fetches:
@@ -150,10 +158,13 @@ def run_image_experiment(*, distillation: bool = True,
                          budget_bytes: int = 3000,
                          quantize_bits: int = 0,
                          backend: str = "closure",
-                         seed: int = 31) -> ImageExperimentResult:
+                         seed: int = 31,
+                         obs: Observability | None = None,
+                         tracer: Callable[[Network], object]
+                         | None = None) -> ImageExperimentResult:
     """Fetch the whole catalogue over a slow access link, with or
     without the distiller ASP on the border router."""
-    net = Network(seed=seed)
+    net = Network(seed=seed, obs=obs)
     server_host = net.add_host("image-server")
     router = net.add_router("border")
     client_host = net.add_host("mobile-client")
@@ -161,6 +172,8 @@ def run_image_experiment(*, distillation: bool = True,
     net.link(client_host, router, bandwidth=slow_link_bps, latency=0.01,
              queue_limit=256)
     net.finalize()
+    if tracer is not None:
+        tracer(net)
 
     library = build_library()
     ImageServer(net, server_host, library)
@@ -178,6 +191,7 @@ def run_image_experiment(*, distillation: bool = True,
     net.run(until=0.1 + 3.0 * len(library) + 10.0)
 
     return ImageExperimentResult(
+        seed=seed,
         distillation=distillation,
         slow_kbps=int(slow_link_bps // 1000),
         fetches=client.results,

@@ -11,10 +11,12 @@ while cutting upstream traffic to one stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable
 
 from ...asps.mpeg import mpeg_client_asp, mpeg_monitor_asp
+from ...experiments.result import LegacyResult
 from ...net.topology import Network
+from ...obs import Observability
 from ...runtime.deployment import Deployment
 from ...runtime.planp_layer import PlanPLayer
 from .client import ClientMode, MpegClient
@@ -22,20 +24,18 @@ from .server import MpegServer
 from .stream import MpegStream
 
 
-@dataclass
-class MpegExperimentResult:
-    use_asps: bool
-    n_clients: int
-    duration: float
-    server_sessions: int
-    server_video_bytes: int
-    uplink_bytes: int
-    per_client_frames: list[int]
-    per_client_rate: list[float]
-    modes: list[str]
-    nominal_fps: int
-    #: full metrics snapshot of the network, taken at the end of the run
-    metrics: dict = field(default_factory=dict)
+class MpegExperimentResult(LegacyResult):
+    """Unified result of the §3.3 multipoint run.
+
+    ``params``: ``use_asps``, ``n_clients``, ``duration``; ``figures``:
+    ``server_sessions``, ``server_video_bytes``, ``uplink_bytes``,
+    ``per_client_frames``, ``per_client_rate``, ``modes``,
+    ``nominal_fps``.  Flat legacy attribute access keeps working for
+    one release.
+    """
+
+    _EXPERIMENT = "mpeg"
+    _PARAM_FIELDS = ("use_asps", "n_clients", "duration")
 
     @property
     def all_clients_at_full_rate(self) -> bool:
@@ -49,9 +49,12 @@ def run_mpeg_experiment(*, use_asps: bool = True, n_clients: int = 3,
                         duration: float = 20.0, warmup: float = 5.0,
                         bitrate_bps: int = 1_200_000,
                         backend: str = "closure",
-                        seed: int = 23) -> MpegExperimentResult:
+                        seed: int = 23,
+                        obs: Observability | None = None,
+                        tracer: Callable[[Network], object]
+                        | None = None) -> MpegExperimentResult:
     """Run the §3.3 scenario with ``n_clients`` viewers of one stream."""
-    net = Network(seed=seed)
+    net = Network(seed=seed, obs=obs)
     server_host = net.add_host("video-server")
     router = net.add_router("router")
     monitor_host = net.add_host("monitor")
@@ -66,6 +69,8 @@ def run_mpeg_experiment(*, use_asps: bool = True, n_clients: int = 3,
     for host in client_hosts:
         net.attach(host, segment)
     net.finalize()
+    if tracer is not None:
+        tracer(net)
 
     stream = MpegStream(name="concert.mpg", bitrate_bps=bitrate_bps)
     server = MpegServer(net, server_host, {stream.name: stream})
@@ -97,6 +102,7 @@ def run_mpeg_experiment(*, use_asps: bool = True, n_clients: int = 3,
     window = (warmup + 1.5 * n_clients, duration)
     uplink_tx = uplink.tx_queue(uplink.interfaces[0])
     return MpegExperimentResult(
+        seed=seed,
         use_asps=use_asps,
         n_clients=n_clients,
         duration=duration,

@@ -1,15 +1,22 @@
 """Experiment harness helpers shared by benchmarks and examples."""
 
-from .fig3 import Fig3Row, fig3_codegen_table, format_fig3_table
+from .fig3 import Fig3Result, Fig3Row, fig3_codegen_table, format_fig3_table
 from .microbench import (BRIDGE_ASP, MicrobenchResult, make_bridge_packets,
                          run_engine_microbench)
+from .result import (ExperimentResult, LegacyResult, deterministic_metrics,
+                     jsonify)
 
 __all__ = [
     "BRIDGE_ASP",
+    "ExperimentResult",
+    "Fig3Result",
     "Fig3Row",
+    "LegacyResult",
     "MicrobenchResult",
+    "deterministic_metrics",
     "fig3_codegen_table",
     "format_fig3_table",
+    "jsonify",
     "make_bridge_packets",
     "run_engine_microbench",
 ]

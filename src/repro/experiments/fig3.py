@@ -18,6 +18,7 @@ from ..interp.context import RecordingContext
 from ..jit.pipeline import count_source_lines, make_engine
 from ..lang import parse, typecheck
 from ..obs.spans import span
+from .result import LegacyResult
 
 #: name -> (source, paper lines, paper codegen ms), for side-by-side
 #: reporting.  Paper values are from Figure 3.
@@ -38,6 +39,20 @@ class Fig3Row:
     paper_lines: int
     paper_codegen_ms: float
     codegen_ms: dict[str, float]  # backend -> measured ms (median)
+
+
+class Fig3Result(LegacyResult):
+    """Unified result of the figure 3 table.  ``figures["rows"]`` holds
+    the :class:`Fig3Row` list — wall-clock codegen timings, so the
+    whole payload is volatile (excluded from the canonical record)."""
+
+    _EXPERIMENT = "fig3"
+    _VOLATILE_FIGURES = ("rows",)
+
+    def _rehydrate(self) -> None:
+        rows = self.figures.get("rows")
+        if rows and isinstance(rows[0], dict):
+            self.figures["rows"] = [Fig3Row(**row) for row in rows]
 
 
 def _measure_codegen(source: str, backend: str, repeats: int) -> float:

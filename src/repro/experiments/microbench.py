@@ -18,8 +18,6 @@ behind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..interp.context import RecordingContext
 from ..interp.values import PlanPTable, UNIT
 from ..jit.pipeline import make_engine
@@ -28,6 +26,8 @@ from ..net.addresses import HostAddr
 from ..net.packet import IpHeader, TcpHeader
 from ..obs import GLOBAL
 from ..obs.spans import span
+from .compat import keyword_only
+from .result import LegacyResult
 
 #: The bridge-class workload: per-flow packet accounting + forwarding.
 BRIDGE_ASP = """\
@@ -71,13 +71,21 @@ def builtin_bridge(ctx, table: PlanPTable, ps: int,
     return ps + 1
 
 
-@dataclass
-class MicrobenchResult:
-    engine: str
-    packets: int
-    elapsed_s: float
-    #: process-wide metrics snapshot taken right after the run
-    metrics: dict = field(default_factory=dict)
+class MicrobenchResult(LegacyResult):
+    """Unified result of one engine microbenchmark.  ``params``:
+    ``engine``, ``packets``; ``figures``: the wall-clock ``elapsed_s``
+    (volatile: excluded from the canonical record).  The legacy
+    positional constructor and flat attribute access keep working for
+    one release."""
+
+    _EXPERIMENT = "microbench"
+    _PARAM_FIELDS = ("engine", "packets")
+    _VOLATILE_FIGURES = ("elapsed_s",)
+
+    def __init__(self, engine: str, packets: int, elapsed_s: float,
+                 **kwargs):
+        super().__init__(engine=engine, packets=packets,
+                         elapsed_s=elapsed_s, **kwargs)
 
     @property
     def us_per_packet(self) -> float:
@@ -88,6 +96,15 @@ class MicrobenchResult:
         return self.packets / self.elapsed_s if self.elapsed_s else 0.0
 
 
+def _process_metrics() -> dict:
+    """The microbenchmark has no Network of its own, so its snapshot is
+    the process-wide registry — the scope ``Network.metrics_snapshot()``
+    reports under the ``global.`` prefix.  Use the same prefix here so
+    the determinism filter recognises it as process-scoped."""
+    return {f"global.{key}": value
+            for key, value in GLOBAL.snapshot().items()}
+
+
 class _NullContext(RecordingContext):
     """A context that discards emissions (so the benchmark measures the
     engine, not list growth)."""
@@ -96,12 +113,14 @@ class _NullContext(RecordingContext):
         pass
 
 
-def run_engine_microbench(engine_name: str, n_packets: int = 20_000,
+@keyword_only("engine", "n_packets", "n_flows")
+def run_engine_microbench(*, engine: str, n_packets: int = 20_000,
                           n_flows: int = 16) -> MicrobenchResult:
     """Time ``n_packets`` channel invocations on one engine.
 
-    ``engine_name`` is an execution backend name or ``"builtin"``.
+    ``engine`` is an execution backend name or ``"builtin"``.
     """
+    engine_name = engine
     packets = make_bridge_packets(n_flows)
     ctx = _NullContext()
     if engine_name == "builtin":
@@ -111,7 +130,7 @@ def run_engine_microbench(engine_name: str, n_packets: int = 20_000,
             for i in range(n_packets):
                 ps = builtin_bridge(ctx, table, ps, packets[i % n_flows])
         return MicrobenchResult("builtin", n_packets, timer.elapsed_s,
-                                metrics=GLOBAL.snapshot())
+                                metrics=_process_metrics())
 
     info = typecheck(parse(BRIDGE_ASP))
     engine = make_engine(info, engine_name, ctx)
@@ -123,7 +142,7 @@ def run_engine_microbench(engine_name: str, n_packets: int = 20_000,
             ps, ss = engine.run_channel(decl, ps, ss,
                                         packets[i % n_flows], ctx)
     return MicrobenchResult(engine_name, n_packets, timer.elapsed_s,
-                            metrics=GLOBAL.snapshot())
+                            metrics=_process_metrics())
 
 
 ENGINES = ("interpreter", "closure", "source", "builtin")
@@ -153,7 +172,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     n_packets = 2_000 if args.smoke else args.packets
 
-    results = [run_engine_microbench(name, n_packets=n_packets)
+    results = [run_engine_microbench(engine=name, n_packets=n_packets)
                for name in args.engines]
     for r in results:
         print(f"{r.engine:>12s}  {r.us_per_packet:8.2f} us/packet  "

@@ -2,35 +2,31 @@
 
     python -m repro.experiments.report            # full scale
     python -m repro.experiments.report --quick    # smoke scale
+    python -m repro.experiments.report --workers 4
 
-Runs every reproduced experiment and emits the paper-vs-measured tables
-as markdown on stdout.  The benchmark suite asserts the same shapes;
-this module is for humans refreshing the documentation.
+Report generation is **O(read)**: the tables are formatted from the
+JSONL result store (``results/`` by default), not from fresh
+simulations.  Scenarios whose records are missing are run first —
+through the harness, in parallel with ``--workers``, landing in the
+store — so the command still works from a cold start, and a second
+invocation formats purely from cache.  ``--no-run`` disables that
+fallback and fails if records are missing (pair it with
+``python -m repro.tools.runx sweep --matrix report-full``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import dataclass
 
+from ..harness.matrix import (ENGINES, FULL, GAP_SWEEP_LOADS, QUICK, Scale,
+                              report_matrix)
+from ..harness.registry import rehydrate
+from ..harness.runner import Runner
+from ..harness.store import ResultStore
+from .result import ExperimentResult
 
-@dataclass
-class Scale:
-    audio_duration: float
-    gap_duration: float
-    http_duration: float
-    http_clients: int
-    mpeg_duration: float
-    microbench_packets: int
-
-
-FULL = Scale(audio_duration=45.0, gap_duration=25.0, http_duration=12.0,
-             http_clients=8, mpeg_duration=15.0,
-             microbench_packets=20_000)
-QUICK = Scale(audio_duration=18.0, gap_duration=8.0, http_duration=6.0,
-              http_clients=4, mpeg_duration=8.0,
-              microbench_packets=2_000)
+__all__ = ["FULL", "QUICK", "Scale", "generate", "main"]
 
 
 def md_table(headers: list[str], rows: list[list[object]]) -> str:
@@ -43,20 +39,16 @@ def md_table(headers: list[str], rows: list[list[object]]) -> str:
 
 # -- metrics appendix ----------------------------------------------------------
 #
-# Each experiment section stashes a curated slice of its
-# ``metrics_snapshot()`` here; ``generate`` renders them as a closing
-# appendix.  Per-node / per-link keys are dropped — the appendix shows
-# network-wide and process-wide health, not the full snapshot.
+# Each experiment section stashes a curated slice of its stored record
+# metrics here; ``generate`` renders them as a closing appendix.  The
+# store keeps only deterministic metrics (no wall-clock timers, no
+# process-global scope), so the appendix is diffable across runs.
 
 _METRICS: dict[str, dict[str, object]] = {}
 
 _APPENDIX_PREFIXES = (
     "drops_total", "faults_total", "http.errors_total",
     "images.errors_total", "events.", "sim.",
-    "asp.process_ms.count", "asp.process_ms.mean",
-    "global.jit.", "global.verify.", "global.program_cache.",
-    "global.interp.", "global.microbench.",
-    "jit.", "verify.", "program_cache.", "interp.", "microbench.",
 )
 
 
@@ -75,9 +67,8 @@ def _fmt_metric(value: object) -> str:
 
 def section_metrics_appendix() -> str:
     parts = ["## Appendix — metrics snapshots\n",
-             "Selected counters from each experiment's "
-             "`metrics_snapshot()` (`global.*` keys are process-wide: "
-             "JIT pipeline, verifier, program cache)."]
+             "Selected counters from each experiment's stored record "
+             "(the deterministic slice of its `metrics_snapshot()`)."]
     for section, metrics in _METRICS.items():
         rows = [[key, _fmt_metric(value)]
                 for key, value in metrics.items()]
@@ -86,24 +77,30 @@ def section_metrics_appendix() -> str:
     return "\n\n".join(parts)
 
 
-def section_fig3() -> str:
-    from .fig3 import fig3_codegen_table
+# -- section formatters --------------------------------------------------------
+#
+# Each takes rehydrated results (looked up by scenario name) and the
+# scale, and returns markdown.  No formatter runs a simulation.
 
+Results = dict[str, ExperimentResult]
+
+
+def section_fig3(results: Results, scale: Scale) -> str:
+    rows_data = results[f"{scale.name}/fig3"].figures["rows"]
     rows = [[r.name, r.paper_lines, r.lines,
              f"{r.paper_codegen_ms:.1f}",
              f"{r.codegen_ms['closure']:.2f}",
              f"{r.codegen_ms['source']:.2f}"]
-            for r in fig3_codegen_table(repeats=5)]
+            for r in rows_data]
     return ("## Figure 3 — code generation time\n\n"
             + md_table(["program", "paper lines", "our lines",
                         "paper ms", "closure ms", "source ms"], rows))
 
 
-def section_fig6(scale: Scale) -> str:
-    from ..apps.audio import run_audio_experiment
+def section_fig6(results: Results, scale: Scale) -> str:
     from ..apps.audio.codec import FORMAT_NAMES
 
-    result = run_audio_experiment(duration=scale.audio_duration)
+    result = results[f"{scale.name}/fig6"]
     _stash_metrics("fig6 (audio)", result.metrics)
     d = scale.audio_duration
     windows = [("no load", 0.02 * d, 0.2 * d, "176"),
@@ -121,54 +118,46 @@ def section_fig6(scale: Scale) -> str:
                         "dominant quality"], rows))
 
 
-def section_fig7(scale: Scale) -> str:
-    from ..apps.audio import run_gap_sweep
-
-    loads = [800_000, 1_500_000, 1_900_000]
-    sweep = run_gap_sweep(loads, duration=scale.gap_duration)
-    rows = [[f"{load / 1e6:.1f} Mbit/s",
-             sweep[load]["without_adaptation"],
-             sweep[load]["with_adaptation"],
-             sweep[load]["without_frames"],
-             sweep[load]["with_frames"]] for load in loads]
+def section_fig7(results: Results, scale: Scale) -> str:
+    sweep = results[f"{scale.name}/fig7"]
+    rows = []
+    for load in GAP_SWEEP_LOADS:
+        level = sweep.level(load)
+        rows.append([f"{load / 1e6:.1f} Mbit/s",
+                     level["without_adaptation"],
+                     level["with_adaptation"],
+                     level["without_frames"],
+                     level["with_frames"]])
     return ("## Figure 7 — silent periods\n\n"
             + md_table(["offered load", "gaps (no ASP)", "gaps (ASP)",
                         "frames (no ASP)", "frames (ASP)"], rows))
 
 
-def section_fig8(scale: Scale) -> str:
-    from ..apps.http import generate_trace, run_http_experiment
-
-    trace = generate_trace(4000, seed=11)
-    results = {mode: run_http_experiment(
-        mode, scale.http_clients, duration=scale.http_duration,
-        warmup=scale.http_duration / 4, trace=trace)
-        for mode in ("single", "asp", "builtin", "disjoint")}
-    _stash_metrics("fig8 (http, asp mode)", results["asp"].metrics)
+def section_fig8(results: Results, scale: Scale) -> str:
+    modes = ("single", "asp", "builtin", "disjoint")
+    by_mode = {mode: results[f"{scale.name}/fig8/{mode}"]
+               for mode in modes}
+    _stash_metrics("fig8 (http, asp mode)", by_mode["asp"].metrics)
     rows = [[mode, f"{r.throughput_rps:.1f}",
              f"{r.mean_latency_s * 1000:.1f}",
              f"{r.balance_ratio:.2f}"]
-            for mode, r in results.items()]
-    asp = results["asp"].throughput_rps
+            for mode, r in by_mode.items()]
+    asp = by_mode["asp"].throughput_rps
     footer = (f"\nASP/single = "
-              f"{asp / results['single'].throughput_rps:.2f} "
+              f"{asp / by_mode['single'].throughput_rps:.2f} "
               f"(paper 1.75); ASP/disjoint = "
-              f"{asp / results['disjoint'].throughput_rps:.2f} "
+              f"{asp / by_mode['disjoint'].throughput_rps:.2f} "
               f"(paper ~0.85); ASP/builtin = "
-              f"{asp / results['builtin'].throughput_rps:.2f} "
+              f"{asp / by_mode['builtin'].throughput_rps:.2f} "
               f"(paper: no difference)")
     return ("## Figure 8 — HTTP cluster throughput\n\n"
             + md_table(["configuration", "req/s", "latency ms",
                         "balance"], rows) + footer)
 
 
-def section_mpeg(scale: Scale) -> str:
-    from ..apps.mpeg import run_mpeg_experiment
-
-    with_asps = run_mpeg_experiment(use_asps=True, n_clients=3,
-                                    duration=scale.mpeg_duration)
-    without = run_mpeg_experiment(use_asps=False, n_clients=3,
-                                  duration=scale.mpeg_duration)
+def section_mpeg(results: Results, scale: Scale) -> str:
+    with_asps = results[f"{scale.name}/mpeg/asps"]
+    without = results[f"{scale.name}/mpeg/plain"]
     _stash_metrics("mpeg (with ASPs)", with_asps.metrics)
     rows = []
     for r in (without, with_asps):
@@ -181,24 +170,19 @@ def section_mpeg(scale: Scale) -> str:
                         "client fps"], rows))
 
 
-def section_microbench(scale: Scale) -> str:
-    from .microbench import run_engine_microbench
-
-    results = {name: run_engine_microbench(
-        name, n_packets=scale.microbench_packets)
-        for name in ("interpreter", "closure", "source", "builtin")}
-    _stash_metrics("microbench (process-wide)",
-                   results["builtin"].metrics)
-    builtin = results["builtin"].us_per_packet
+def section_microbench(results: Results, scale: Scale) -> str:
+    by_engine = {engine: results[f"{scale.name}/microbench/{engine}"]
+                 for engine in ENGINES}
+    builtin = by_engine["builtin"].us_per_packet
     rows = [[name, f"{r.us_per_packet:.2f}",
              f"{r.us_per_packet / builtin:.2f}x"]
-            for name, r in results.items()]
+            for name, r in by_engine.items()]
     return ("## Section 2.4 — engine microbenchmark\n\n"
             + md_table(["engine", "us/packet", "vs builtin"], rows))
 
 
 SECTIONS = {
-    "fig3": lambda scale: section_fig3(),
+    "fig3": section_fig3,
     "fig6": section_fig6,
     "fig7": section_fig7,
     "fig8": section_fig8,
@@ -206,15 +190,54 @@ SECTIONS = {
     "microbench": section_microbench,
 }
 
+#: scenario-name suffixes each section reads (under ``<scale>/``)
+_SECTION_SCENARIOS = {
+    "fig3": ("fig3",),
+    "fig6": ("fig6",),
+    "fig7": ("fig7",),
+    "fig8": tuple(f"fig8/{m}"
+                  for m in ("single", "asp", "builtin", "disjoint")),
+    "mpeg": ("mpeg/asps", "mpeg/plain"),
+    "microbench": tuple(f"microbench/{e}" for e in ENGINES),
+}
 
-def generate(scale: Scale, only: list[str] | None = None) -> str:
+
+def _load_results(scale: Scale, sections: list[str],
+                  store: ResultStore | None, workers: int,
+                  run_missing: bool) -> Results:
+    """Rehydrated results for every scenario the sections read.
+
+    With a store, existing records are read (O(read)); missing ones
+    are run through the harness (parallel for ``workers > 1``) unless
+    ``run_missing`` is false, in which case missing records raise.
+    """
+    wanted = {f"{scale.name}/{suffix}" for section in sections
+              for suffix in _SECTION_SCENARIOS[section]}
+    scenarios = [s for s in report_matrix(scale) if s.name in wanted]
+    if not run_missing:
+        lines = store.by_name() if store is not None else {}
+        missing = sorted(wanted - set(lines))
+        if missing:
+            raise RuntimeError(
+                f"no stored records for {missing}; run `python -m "
+                f"repro.tools.runx sweep --matrix report-{scale.name}` "
+                f"or drop --no-run")
+        return {name: rehydrate(lines[name]) for name in wanted}
+    report = Runner(store, workers=workers).sweep(scenarios)
+    return {line["scenario"]: rehydrate(line) for line in report.lines}
+
+
+def generate(scale: Scale, only: list[str] | None = None,
+             store: ResultStore | None = None, workers: int = 1,
+             run_missing: bool = True) -> str:
+    sections = [name for name in SECTIONS if not only or name in only]
+    results = _load_results(scale, sections, store, workers,
+                            run_missing)
     parts = ["# Reproduced results (generated by "
              "`python -m repro.experiments.report`)"]
     _METRICS.clear()
-    for name, fn in SECTIONS.items():
-        if only and name not in only:
-            continue
-        parts.append(fn(scale))
+    for name in sections:
+        parts.append(SECTIONS[name](results, scale))
     if _METRICS:
         parts.append(section_metrics_appendix())
     return "\n\n".join(parts) + "\n"
@@ -226,9 +249,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="small-scale smoke run")
     parser.add_argument("--only", nargs="*", choices=sorted(SECTIONS),
                         help="limit to specific sections")
+    parser.add_argument("--results", default="results", metavar="DIR",
+                        help="JSONL result store (default: results)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="workers for missing scenarios")
+    parser.add_argument("--no-run", action="store_true",
+                        help="fail on missing records instead of "
+                             "running them")
     args = parser.parse_args(argv)
     scale = QUICK if args.quick else FULL
-    sys.stdout.write(generate(scale, only=args.only))
+    sys.stdout.write(generate(scale, only=args.only,
+                              store=ResultStore(args.results),
+                              workers=args.workers,
+                              run_missing=not args.no_run))
     return 0
 
 

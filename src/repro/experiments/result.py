@@ -1,0 +1,186 @@
+"""The unified experiment result: one shape for every experiment.
+
+Every ``run_*`` entry point used to return its own dataclass with its
+own field list; the harness (:mod:`repro.harness`) needs one record
+shape it can hash, store and compare byte-for-byte.  This module
+defines that shape:
+
+* :class:`ExperimentResult` — ``name`` / ``params`` / ``seed`` /
+  ``metrics`` / ``figures``, with ``to_json()`` / ``from_json()``
+  producing canonical (sorted, compact) JSON;
+* per-app shims (``AudioExperimentResult`` & co., defined next to
+  their experiments) that subclass it and keep the legacy attribute
+  surface working: ``result.silent_periods`` still resolves, routed
+  into ``params`` / ``figures``.  The legacy attributes are
+  **deprecated** and will be dropped one release after 1.x; new code
+  reads ``result.figures[...]``.
+
+Determinism is part of the contract: ``record()`` is byte-identical
+for identical (code, params, seed), which is what lets the parallel
+runner assert serial/parallel equivalence and lets the cache skip
+re-runs.  Two kinds of values are excluded from it:
+
+* **volatile figures** — wall-clock measurements (JIT codegen times,
+  microbenchmark elapsed) named in ``_VOLATILE_FIGURES``; they travel
+  next to the record (``volatile()``) rather than inside it;
+* **nondeterministic metrics** — the ``global.`` process scope (shared
+  across runs in one process, reset in another) and ``*_ms`` timer
+  histograms; :func:`deterministic_metrics` strips them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+
+def deterministic_metrics(metrics: dict[str, Any]) -> dict[str, Any]:
+    """The subset of a ``metrics_snapshot()`` that is a pure function
+    of (code, params, seed): drops the process-wide ``global.`` scope
+    (it accumulates across runs sharing a process) and every ``*_ms``
+    timer histogram (wall-clock)."""
+    return {key: value for key, value in sorted(metrics.items())
+            if not key.startswith("global.") and "_ms" not in key}
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert a figures payload to plain JSON types.
+
+    Dataclasses become dicts, enums their values, tuples/sets lists,
+    non-string dict keys strings, and anything else falls back to
+    ``str`` — deterministically, so equal payloads yield equal JSON.
+    """
+    if isinstance(value, enum.Enum):
+        return jsonify(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonify(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonify(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment run: what ran (``name``, ``params``, ``seed``),
+    what it measured (``figures``), and how the network behaved while
+    it did (``metrics``, a full ``metrics_snapshot()``)."""
+
+    name: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    figures: dict[str, Any] = field(default_factory=dict)
+
+    #: registry key of the experiment that produced this result
+    _EXPERIMENT: ClassVar[str] = ""
+    #: legacy attributes routed into ``params`` (deprecated surface)
+    _PARAM_FIELDS: ClassVar[tuple[str, ...]] = ()
+    #: figure keys holding wall-clock values, kept out of ``record()``
+    _VOLATILE_FIGURES: ClassVar[tuple[str, ...]] = ()
+
+    # -- legacy attribute shim --------------------------------------------------
+
+    def __getattr__(self, attr: str) -> Any:
+        # Deprecated: pre-1.1 result dataclasses exposed their payload
+        # as flat attributes.  Route those reads into params/figures so
+        # existing callers keep working for one release.  Guard against
+        # recursion during unpickling, when __dict__ is not yet set.
+        if not attr.startswith("_"):
+            d = object.__getattribute__(self, "__dict__")
+            figures = d.get("figures")
+            if figures is not None and attr in figures:
+                return figures[attr]
+            params = d.get("params")
+            if params is not None and attr in params:
+                return params[attr]
+        raise AttributeError(
+            f"{type(self).__name__} has no attribute {attr!r}")
+
+    # -- canonical serialization ------------------------------------------------
+
+    @property
+    def experiment(self) -> str:
+        return self._EXPERIMENT or self.name
+
+    def record(self) -> dict[str, Any]:
+        """The canonical, deterministic form: byte-identical for equal
+        (code, params, seed), whichever worker produced it."""
+        return {
+            "name": self.name,
+            "experiment": self.experiment,
+            "params": jsonify(self.params),
+            "seed": self.seed,
+            "metrics": deterministic_metrics(self.metrics),
+            "figures": {key: jsonify(value)
+                        for key, value in self.figures.items()
+                        if key not in self._VOLATILE_FIGURES},
+        }
+
+    def volatile(self) -> dict[str, Any]:
+        """Wall-clock figures (codegen times, benchmark elapsed) — real
+        measurements, but not comparable across runs, so they ride
+        beside the record instead of inside it."""
+        return {key: jsonify(self.figures[key])
+                for key in self._VOLATILE_FIGURES
+                if key in self.figures}
+
+    def to_json(self) -> str:
+        return json.dumps(self.record(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any],
+                    volatile: dict[str, Any] | None = None,
+                    ) -> "ExperimentResult":
+        """Rebuild a result from its stored form.  Subclasses rehydrate
+        their domain objects (samples, rows) so the legacy helper
+        methods keep working on loaded results."""
+        result = cls.__new__(cls)
+        figures = dict(record.get("figures", {}))
+        if volatile:
+            figures.update(volatile)
+        ExperimentResult.__init__(
+            result, name=record.get("name", ""),
+            params=dict(record.get("params", {})),
+            seed=record.get("seed", 0),
+            metrics=dict(record.get("metrics", {})),
+            figures=figures)
+        result._rehydrate()
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_record(json.loads(text))
+
+    def _rehydrate(self) -> None:
+        """Hook for subclasses: convert jsonified figures back to their
+        in-memory types after :meth:`from_record`."""
+
+
+class LegacyResult(ExperimentResult):
+    """Base for the per-app shims: construct from the legacy flat
+    keyword fields, routing them into ``params`` / ``figures``.
+
+    ``AudioExperimentResult(adaptation=True, duration=45.0, ...)``
+    still works; the fields named in ``_PARAM_FIELDS`` land in
+    ``params`` and everything else in ``figures``.
+    """
+
+    def __init__(self, *, name: str = "", seed: int = 0,
+                 metrics: dict[str, Any] | None = None,
+                 **fields: Any):
+        params = {key: fields.pop(key) for key in self._PARAM_FIELDS
+                  if key in fields}
+        super().__init__(name=name or self._EXPERIMENT, params=params,
+                         seed=seed, metrics=metrics or {},
+                         figures=fields)

@@ -1,0 +1,43 @@
+"""Content-addressed run caching: (code, params, seed) → skip re-runs.
+
+A scenario's cache key combines its own content hash (experiment name,
+params, seed — :meth:`Scenario.key`) with a fingerprint of the
+``repro`` source tree, so editing any simulator or experiment code
+invalidates every cached result while a pure re-run hits.  The store
+(:mod:`repro.harness.store`) indexes records by this key; the runner
+consults it before dispatching work, which is also what makes partial
+sweeps resumable — re-running a half-finished sweep only executes the
+missing scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from .scenario import Scenario
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """sha256 over every ``.py`` file of the installed ``repro``
+    package (relative path + content), cached per process."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def cache_key(scenario: Scenario) -> str:
+    """The store key: scenario content hash × code fingerprint."""
+    return hashlib.sha256(
+        f"{scenario.key()}:{code_fingerprint()}".encode()
+    ).hexdigest()[:24]

@@ -1,0 +1,147 @@
+"""Scenario matrices: the paper's evaluation as declarative data.
+
+``standard_matrix()`` is figures 3–8 at full reproduction scale — the
+matrix ``BENCH_harness.json`` times and ``runx sweep`` runs by default.
+``smoke_matrix()`` is the same coverage at CI scale (seconds, tagged
+``smoke``).  ``report_matrix(scale)`` is exactly the set of scenarios
+:mod:`repro.experiments.report` formats, at ``quick`` or ``full``
+scale; its full-scale parameters coincide with the standard matrix, so
+a report regeneration after a standard sweep is pure cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .scenario import Scenario
+
+#: The figure 7 offered-load levels (bps) reported in EXPERIMENTS.md.
+GAP_SWEEP_LOADS = (800_000, 1_500_000, 1_900_000)
+
+ENGINES = ("interpreter", "closure", "source", "builtin")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Report scale: simulated durations and sizes per section."""
+    name: str
+    audio_duration: float
+    gap_duration: float
+    http_duration: float
+    http_clients: int
+    mpeg_duration: float
+    microbench_packets: int
+
+
+FULL = Scale(name="full", audio_duration=45.0, gap_duration=25.0,
+             http_duration=12.0, http_clients=8, mpeg_duration=15.0,
+             microbench_packets=20_000)
+QUICK = Scale(name="quick", audio_duration=18.0, gap_duration=8.0,
+              http_duration=6.0, http_clients=4, mpeg_duration=8.0,
+              microbench_packets=2_000)
+
+
+def report_matrix(scale: Scale) -> list[Scenario]:
+    """The scenarios the report reads, one per figure row group."""
+    pre = scale.name
+    tags = frozenset({"report", scale.name})
+    scenarios = [
+        Scenario(f"{pre}/fig3", "fig3", {"repeats": 5}, seed=0,
+                 tags=tags | {"fig3"}),
+        Scenario(f"{pre}/fig6", "audio",
+                 {"duration": scale.audio_duration}, seed=7,
+                 tags=tags | {"fig6", "audio"}),
+        Scenario(f"{pre}/fig7", "audio_gap_sweep",
+                 {"load_levels_bps": list(GAP_SWEEP_LOADS),
+                  "duration": scale.gap_duration}, seed=7,
+                 tags=tags | {"fig7", "audio"}),
+    ]
+    for mode in ("single", "asp", "builtin", "disjoint"):
+        scenarios.append(Scenario(
+            f"{pre}/fig8/{mode}", "http",
+            {"mode": mode, "n_clients": scale.http_clients,
+             "duration": scale.http_duration,
+             "warmup": scale.http_duration / 4}, seed=11,
+            tags=tags | {"fig8", "http"}))
+    for use_asps, label in ((True, "asps"), (False, "plain")):
+        scenarios.append(Scenario(
+            f"{pre}/mpeg/{label}", "mpeg",
+            {"use_asps": use_asps, "n_clients": 3,
+             "duration": scale.mpeg_duration}, seed=23,
+            tags=tags | {"mpeg"}))
+    for engine in ENGINES:
+        scenarios.append(Scenario(
+            f"{pre}/microbench/{engine}", "microbench",
+            {"engine": engine,
+             "n_packets": scale.microbench_packets}, seed=0,
+            tags=tags | {"microbench"}))
+    return scenarios
+
+
+def standard_matrix() -> list[Scenario]:
+    """The full-scale evaluation matrix (the BENCH_harness target)."""
+    scenarios = [
+        Scenario(s.name.replace("full/", "standard/", 1), s.experiment,
+                 s.params, seed=s.seed, tags=s.tags | {"standard"})
+        for s in report_matrix(FULL)]
+    scenarios.append(Scenario(
+        "standard/images", "images", {"distillation": True}, seed=31,
+        tags=frozenset({"standard", "images"})))
+    return scenarios
+
+
+def smoke_matrix() -> list[Scenario]:
+    """Tiny versions of every experiment, for CI (tagged ``smoke``)."""
+    def tags(*extra: str) -> frozenset[str]:
+        return frozenset({"smoke", *extra})
+
+    return [
+        Scenario("smoke/fig3", "fig3", {"repeats": 1}, seed=0,
+                 tags=tags("fig3")),
+        Scenario("smoke/audio", "audio", {"duration": 6.0}, seed=7,
+                 tags=tags("audio")),
+        Scenario("smoke/gap-sweep", "audio_gap_sweep",
+                 {"load_levels_bps": [1_900_000], "duration": 4.0},
+                 seed=7, tags=tags("audio")),
+        Scenario("smoke/http-asp", "http",
+                 {"mode": "asp", "n_clients": 2, "duration": 4.0,
+                  "warmup": 1.0}, seed=11, tags=tags("http")),
+        Scenario("smoke/http-single", "http",
+                 {"mode": "single", "n_clients": 2, "duration": 4.0,
+                  "warmup": 1.0}, seed=11, tags=tags("http")),
+        Scenario("smoke/mpeg", "mpeg",
+                 {"use_asps": True, "n_clients": 2, "duration": 6.0},
+                 seed=23, tags=tags("mpeg")),
+        Scenario("smoke/images", "images", {"distillation": True},
+                 seed=31, tags=tags("images")),
+        Scenario("smoke/microbench-closure", "microbench",
+                 {"engine": "closure", "n_packets": 2_000}, seed=0,
+                 tags=tags("microbench")),
+        Scenario("smoke/microbench-builtin", "microbench",
+                 {"engine": "builtin", "n_packets": 2_000}, seed=0,
+                 tags=tags("microbench")),
+    ]
+
+
+MATRICES = {
+    "standard": standard_matrix,
+    "smoke": smoke_matrix,
+    "report-quick": lambda: report_matrix(QUICK),
+    "report-full": lambda: report_matrix(FULL),
+}
+
+
+def matrix(name: str) -> list[Scenario]:
+    """A named matrix, or ``all`` for every scenario of every matrix
+    (deduplicated by name)."""
+    if name == "all":
+        seen: dict[str, Scenario] = {}
+        for factory in MATRICES.values():
+            for scenario in factory():
+                seen.setdefault(scenario.name, scenario)
+        return list(seen.values())
+    try:
+        return MATRICES[name]()
+    except KeyError:
+        raise KeyError(f"unknown matrix {name!r}; pick from "
+                       f"{sorted(MATRICES) + ['all']}") from None

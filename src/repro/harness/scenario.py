@@ -1,0 +1,74 @@
+"""The :class:`Scenario`: one declarative experiment run.
+
+A scenario is pure data — which registered experiment to run, with
+which parameters and seed — so it can be listed, filtered by tag,
+hashed for the result cache, shipped to a worker process, and compared
+across serial and parallel executions.  The paper's whole evaluation
+(figures 3–8) is a matrix of these.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON for hashing: sorted keys, compact separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One run of one registered experiment.
+
+    ``name`` is the human handle (unique within a matrix, e.g.
+    ``fig7/gap-1.5M``); ``experiment`` the registry key; ``params`` the
+    keyword arguments for the experiment runner (JSON values only);
+    ``tags`` drive ``--filter`` selection.
+    """
+
+    name: str
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    tags: frozenset[str] = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+    def key(self) -> str:
+        """Content hash of what will run: experiment + params + seed.
+        (The name and tags are presentation, not identity.)"""
+        payload = canonical_json({"experiment": self.experiment,
+                                  "params": self.params,
+                                  "seed": self.seed})
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def matches(self, filt: str | None) -> bool:
+        """Tag match (exact) or name match (substring)."""
+        if not filt:
+            return True
+        return filt in self.tags or filt in self.name
+
+    # -- worker transport -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "experiment": self.experiment,
+                "params": dict(self.params), "seed": self.seed,
+                "tags": sorted(self.tags)}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Scenario":
+        return cls(name=doc["name"], experiment=doc["experiment"],
+                   params=doc.get("params", {}),
+                   seed=doc.get("seed", 0),
+                   tags=frozenset(doc.get("tags", ())))
+
+
+def filter_scenarios(scenarios: Iterable[Scenario],
+                     filt: str | None) -> list[Scenario]:
+    return [s for s in scenarios if s.matches(filt)]

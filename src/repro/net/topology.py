@@ -41,11 +41,16 @@ if TYPE_CHECKING:
 class Network:
     """A simulated network under construction (and then in operation)."""
 
-    def __init__(self, seed: int = 0, base_addr: str = "10.0.0.0"):
+    def __init__(self, seed: int = 0, base_addr: str = "10.0.0.0",
+                 obs: Observability | None = None):
         self.sim = Simulator(seed=seed)
         #: this network's observability scope — metrics registry and a
-        #: structured event log stamped with **simulated** time
-        self.obs = Observability(clock=lambda: self.sim.now)
+        #: structured event log stamped with **simulated** time.  A
+        #: caller-supplied scope is adopted (its event clock re-bound to
+        #: this simulator) so several runs can measure into one place.
+        self.obs = obs if obs is not None \
+            else Observability(clock=lambda: self.sim.now)
+        self.obs.events.clock = lambda: self.sim.now
         self.obs.metrics.register("sim", self.sim.stats)
         self.nodes: list[Node] = []
         self.media: list[Link | Segment] = []

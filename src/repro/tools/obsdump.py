@@ -80,7 +80,7 @@ def _run_audio(quick: bool) -> tuple[dict, list]:
 def _run_http(quick: bool) -> tuple[dict, list]:
     from ..apps.http import run_http_experiment
 
-    result = run_http_experiment("asp", 4,
+    result = run_http_experiment(mode="asp", n_clients=4,
                                  duration=4.0 if quick else 12.0,
                                  warmup=1.0 if quick else 3.0)
     return result.metrics, []
@@ -106,7 +106,7 @@ def _run_microbench(quick: bool) -> tuple[dict, list]:
 
     n = 2_000 if quick else 20_000
     for engine in ("interpreter", "closure", "source", "builtin"):
-        run_engine_microbench(engine, n_packets=n)
+        run_engine_microbench(engine=engine, n_packets=n)
     events = [record.to_dict() for record in GLOBAL.events.filter()]
     return GLOBAL.snapshot(), events
 

@@ -46,7 +46,7 @@ class TestMicrobenchHarness:
     @pytest.mark.parametrize("engine", ["interpreter", "closure",
                                         "source", "builtin"])
     def test_all_engines_run(self, engine):
-        result = run_engine_microbench(engine, n_packets=500)
+        result = run_engine_microbench(engine=engine, n_packets=500)
         assert result.packets == 500
         assert result.us_per_packet > 0
         assert result.packets_per_second > 0
@@ -93,16 +93,29 @@ class TestReportGenerator:
         assert "engine microbenchmark" in text
         assert "| program |" in text
 
-    def test_main_only_flag(self, capsys):
+    def test_main_only_flag(self, capsys, tmp_path):
         from repro.experiments.report import main
 
-        assert main(["--quick", "--only", "fig3"]) == 0
+        assert main(["--quick", "--only", "fig3",
+                     "--results", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out
         assert "Figure 8" not in out
 
-    def test_mpeg_section_runs_at_quick_scale(self):
+    def test_mpeg_section_formats_stored_results(self):
         from repro.experiments.report import QUICK, section_mpeg
+        from repro.harness import Runner, report_matrix
 
-        text = section_mpeg(QUICK)
+        runner = Runner()
+        results = {s.name: runner.run(s) for s in report_matrix(QUICK)
+                   if s.name.startswith("quick/mpeg/")}
+        text = section_mpeg(results, QUICK)
         assert "server sessions" in text
+
+    def test_no_run_fails_without_store(self, tmp_path):
+        from repro.experiments.report import QUICK, generate
+        from repro.harness import ResultStore
+
+        with pytest.raises(RuntimeError, match="no stored records"):
+            generate(QUICK, only=["fig6"],
+                     store=ResultStore(tmp_path), run_missing=False)
