@@ -19,10 +19,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..harness.cache import cache_key
 from ..harness.matrix import (ENGINES, FULL, GAP_SWEEP_LOADS, QUICK, Scale,
                               report_matrix)
 from ..harness.registry import rehydrate
-from ..harness.runner import Runner
+from ..harness.runner import Runner, relabel_line
 from ..harness.store import ResultStore
 from .result import ExperimentResult
 
@@ -215,14 +216,25 @@ def _load_results(scale: Scale, sections: list[str],
               for suffix in _SECTION_SCENARIOS[section]}
     scenarios = [s for s in report_matrix(scale) if s.name in wanted]
     if not run_missing:
-        lines = store.by_name() if store is not None else {}
-        missing = sorted(wanted - set(lines))
+        # Look up by content (cache key), not name: a record produced
+        # under another matrix's name (e.g. a standard/ sweep) with the
+        # same params satisfies the report scenario — relabel it.
+        lines = store.by_cache_key() if store is not None else {}
+        results: Results = {}
+        missing: list[str] = []
+        for scenario in scenarios:
+            line = lines.get(cache_key(scenario))
+            if line is None:
+                missing.append(scenario.name)
+            else:
+                results[scenario.name] = rehydrate(
+                    relabel_line(line, scenario))
         if missing:
             raise RuntimeError(
-                f"no stored records for {missing}; run `python -m "
-                f"repro.tools.runx sweep --matrix report-{scale.name}` "
-                f"or drop --no-run")
-        return {name: rehydrate(lines[name]) for name in wanted}
+                f"no stored records for {sorted(missing)}; run `python "
+                f"-m repro.tools.runx sweep --matrix "
+                f"report-{scale.name}` or drop --no-run")
+        return results
     report = Runner(store, workers=workers).sweep(scenarios)
     return {line["scenario"]: rehydrate(line) for line in report.lines}
 

@@ -24,8 +24,9 @@ re-runs.  Two kinds of values are excluded from it:
   microbenchmark elapsed) named in ``_VOLATILE_FIGURES``; they travel
   next to the record (``volatile()``) rather than inside it;
 * **nondeterministic metrics** — the ``global.`` process scope (shared
-  across runs in one process, reset in another) and ``*_ms`` timer
-  histograms; :func:`deterministic_metrics` strips them.
+  across runs in one process, reset in another) and the duration
+  statistics of ``*_ms`` timer histograms (their ``.count`` is an
+  event count and stays); :func:`deterministic_metrics` strips them.
 """
 
 from __future__ import annotations
@@ -37,13 +38,30 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
 
+#: histogram statistics of a ``*_ms`` timer that hold wall-clock
+#: durations (``.count`` is an event count and stays deterministic)
+_TIMER_STATS = ("sum", "min", "max", "mean")
+
+
+def _is_wall_clock(key: str) -> bool:
+    """True for wall-clock timer values: a bare ``*_ms`` scalar or a
+    ``*_ms`` histogram's duration statistics.  ``*_ms.count`` (how many
+    spans ran — an event count) and names that merely contain ``_ms``
+    (``dropped_msgs``) are deterministic and kept."""
+    if key.endswith("_ms"):
+        return True
+    prefix, _, stat = key.rpartition(".")
+    return stat in _TIMER_STATS and prefix.endswith("_ms")
+
+
 def deterministic_metrics(metrics: dict[str, Any]) -> dict[str, Any]:
     """The subset of a ``metrics_snapshot()`` that is a pure function
     of (code, params, seed): drops the process-wide ``global.`` scope
-    (it accumulates across runs sharing a process) and every ``*_ms``
-    timer histogram (wall-clock)."""
+    (it accumulates across runs sharing a process) and the wall-clock
+    values of ``*_ms`` timer histograms (their ``.count`` stays)."""
     return {key: value for key, value in sorted(metrics.items())
-            if not key.startswith("global.") and "_ms" not in key}
+            if not key.startswith("global.")
+            and not _is_wall_clock(key)}
 
 
 def jsonify(value: Any) -> Any:

@@ -26,7 +26,8 @@ from .cache import cache_key, code_fingerprint
 from .matrix import (FULL, MATRICES, QUICK, Scale, matrix, report_matrix,
                      smoke_matrix, standard_matrix)
 from .registry import get, names, rehydrate, run
-from .runner import Runner, SweepReport, run_scenario_line
+from .runner import (Runner, SweepReport, relabel_line,
+                     run_scenario_line)
 from .scenario import Scenario, filter_scenarios
 from .store import ResultStore
 
@@ -47,6 +48,7 @@ __all__ = [
     "matrix",
     "names",
     "rehydrate",
+    "relabel_line",
     "report_matrix",
     "run",
     "run_scenario_line",

@@ -142,7 +142,8 @@ def _register_all() -> None:
 
     register("microbench", result_cls=MicrobenchResult,
              description="§2.4 engine microbenchmark (one engine)"
-             )(lambda *, seed, **p: run_engine_microbench(**p))
+             )(lambda *, seed, **p: run_engine_microbench(seed=seed,
+                                                          **p))
 
 
 _register_all()

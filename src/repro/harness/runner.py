@@ -47,6 +47,23 @@ def _worker(doc: dict[str, Any]) -> dict[str, Any]:
     return run_scenario_line(Scenario.from_dict(doc))
 
 
+def relabel_line(line: dict[str, Any],
+                 scenario: Scenario) -> dict[str, Any]:
+    """The line re-identified as ``scenario``.
+
+    ``cache_key()`` deliberately excludes name and tags, so a cache hit
+    may carry the labels of whichever same-content scenario ran first
+    (``standard/fig6`` satisfying ``full/fig6``).  Consumers key lines
+    by name, so a served line must wear the requested identity.
+    Returns ``line`` itself when nothing differs.
+    """
+    tags = sorted(scenario.tags)
+    if line["scenario"] == scenario.name and line["tags"] == tags:
+        return line
+    return {**line, "scenario": scenario.name, "tags": tags,
+            "record": {**line["record"], "name": scenario.name}}
+
+
 @dataclass
 class SweepReport:
     """What a sweep did: every line (cached and fresh), and how long."""
@@ -94,8 +111,8 @@ class Runner:
         rehydrated result object."""
         cached = self._cached().get(cache_key(scenario))
         if cached is not None:
-            self._notify("cached", cached)
-            return registry.rehydrate(cached)
+            return registry.rehydrate(
+                self._serve_cached(cached, scenario))
         line = run_scenario_line(scenario)
         self._append(line)
         self._notify("ran", line)
@@ -105,7 +122,10 @@ class Runner:
 
     def sweep(self, scenarios: Iterable[Scenario]) -> SweepReport:
         """Run every scenario, skipping cache hits, in parallel when
-        ``workers > 1``.  Lines land in the store (and the report) in
+        ``workers > 1``.  Scenarios with identical cache keys (same
+        experiment, params and seed under different names) execute
+        once; the duplicates are served from the first completion,
+        relabeled.  Lines land in the store (and the report) in
         completion order; records are order-independent."""
         t0 = time.perf_counter()
         todo: list[Scenario] = []
@@ -118,18 +138,24 @@ class Runner:
         report = SweepReport(workers=self.workers)
         cached = self._cached()
         pending: list[Scenario] = []
+        # same-key scenarios queued behind the one that actually runs,
+        # served (relabeled) when its line completes
+        aliases: dict[str, list[Scenario]] = {}
         for scenario in todo:
-            line = cached.get(cache_key(scenario))
+            key = cache_key(scenario)
+            line = cached.get(key)
             if line is not None:
-                report.lines.append(line)
-                report.cached.append(scenario.name)
-                self._notify("cached", line)
+                self._serve_cached(line, scenario, report)
+            elif key in aliases:
+                aliases[key].append(scenario)
             else:
+                aliases[key] = []
                 pending.append(scenario)
 
         if self.workers == 1 or len(pending) <= 1:
             for scenario in pending:
-                self._finish(run_scenario_line(scenario), report)
+                self._finish(run_scenario_line(scenario), report,
+                             aliases)
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 futures = {pool.submit(_worker, s.to_dict())
@@ -138,18 +164,38 @@ class Runner:
                     done, futures = wait(futures,
                                          return_when=FIRST_COMPLETED)
                     for future in done:
-                        self._finish(future.result(), report)
+                        self._finish(future.result(), report, aliases)
 
         report.wall_s = time.perf_counter() - t0
         return report
 
     # -- internals --------------------------------------------------------------
 
-    def _finish(self, line: dict[str, Any], report: SweepReport) -> None:
+    def _finish(self, line: dict[str, Any], report: SweepReport,
+                aliases: dict[str, list[Scenario]]) -> None:
         self._append(line)
         report.lines.append(line)
         report.ran.append(line["scenario"])
         self._notify("ran", line)
+        for scenario in aliases.get(line["cache_key"], ()):
+            self._serve_cached(line, scenario, report)
+
+    def _serve_cached(self, line: dict[str, Any], scenario: Scenario,
+                      report: SweepReport | None = None,
+                      ) -> dict[str, Any]:
+        """Serve a stored (or just-completed same-key) line as a cache
+        hit for ``scenario``, relabeled to its identity.  Relabeled
+        lines are appended to the store so name-keyed loads
+        (``store.by_name()``, ``report --no-run``) find them under the
+        requested name too."""
+        served = relabel_line(line, scenario)
+        if served is not line:
+            self._append(served)
+        if report is not None:
+            report.lines.append(served)
+            report.cached.append(scenario.name)
+        self._notify("cached", served)
+        return served
 
     def _cached(self) -> dict[str, dict[str, Any]]:
         if not (self.use_cache and self.store):

@@ -46,12 +46,22 @@ class Network:
         self.sim = Simulator(seed=seed)
         #: this network's observability scope — metrics registry and a
         #: structured event log stamped with **simulated** time.  A
-        #: caller-supplied scope is adopted (its event clock re-bound to
-        #: this simulator) so several runs can measure into one place.
+        #: caller-supplied scope is adopted so several runs can measure
+        #: into one place; the *first* network built on it claims the
+        #: event clock and the canonical ``sim`` stats name, later
+        #: networks publish under ``sim2``, ``sim3``, … and leave the
+        #: clock alone (the scope's timestamps stay consistent instead
+        #: of silently jumping to the newest simulator).
         self.obs = obs if obs is not None \
             else Observability(clock=lambda: self.sim.now)
-        self.obs.events.clock = lambda: self.sim.now
-        self.obs.metrics.register("sim", self.sim.stats)
+        if not self.obs.metrics.has("sim"):
+            self.obs.events.clock = lambda: self.sim.now
+            self.obs.metrics.register("sim", self.sim.stats)
+        else:
+            n = 2
+            while self.obs.metrics.has(f"sim{n}"):
+                n += 1
+            self.obs.metrics.register(f"sim{n}", self.sim.stats)
         self.nodes: list[Node] = []
         self.media: list[Link | Segment] = []
         self._alloc = AddressAllocator(base_addr)

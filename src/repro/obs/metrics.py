@@ -172,6 +172,10 @@ class MetricsRegistry:
     def unregister(self, name: str) -> None:
         self._callbacks.pop(name, None)
 
+    def has(self, name: str) -> bool:
+        """Whether a stat-holder callback is registered under ``name``."""
+        return name in self._callbacks
+
     # -- snapshots ----------------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:

@@ -51,6 +51,11 @@ class TestMicrobenchHarness:
         assert result.us_per_packet > 0
         assert result.packets_per_second > 0
 
+    def test_seed_accepted_for_harness_uniformity(self):
+        result = run_engine_microbench(engine="builtin", n_packets=100,
+                                       seed=5)
+        assert result.packets == 100
+
     def test_bridge_asp_verifies(self):
         from repro.analysis import verify_report
         from repro.lang import parse, typecheck
@@ -119,3 +124,19 @@ class TestReportGenerator:
         with pytest.raises(RuntimeError, match="no stored records"):
             generate(QUICK, only=["fig6"],
                      store=ResultStore(tmp_path), run_missing=False)
+
+    def test_no_run_reads_same_content_under_other_name(self, tmp_path):
+        """--no-run resolves by content: a record swept under another
+        matrix's name satisfies the report scenario with equal params."""
+        from repro.experiments.report import QUICK, generate
+        from repro.harness import (ResultStore, Runner, Scenario,
+                                   report_matrix)
+
+        fig3 = next(s for s in report_matrix(QUICK)
+                    if s.name == "quick/fig3")
+        store = ResultStore(tmp_path)
+        Runner(store).run(Scenario("elsewhere/fig3", fig3.experiment,
+                                   fig3.params, seed=fig3.seed))
+        text = generate(QUICK, only=["fig3"], store=store,
+                        run_missing=False)
+        assert "Figure 3" in text

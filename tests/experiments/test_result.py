@@ -80,11 +80,20 @@ class TestVolatileAndDeterminism:
 
     def test_deterministic_metrics_drops_wall_clock(self):
         metrics = {"drops_total": 3, "global.jit.codegen_ms.sum": 1.2,
-                   "jit.total_ms.count": 4, "sim.events_executed": 10,
-                   "node.a.packets_in": 7}
+                   "asp.process_ms.mean": 0.5, "elapsed_ms": 9.1,
+                   "sim.events_executed": 10, "node.a.packets_in": 7}
         kept = deterministic_metrics(metrics)
         assert kept == {"drops_total": 3, "sim.events_executed": 10,
                         "node.a.packets_in": 7}
+
+    def test_deterministic_metrics_keeps_counts_and_ms_substrings(self):
+        # *_ms.count is an event count, and names merely containing
+        # "_ms" are not timers: both stay in the canonical record.
+        metrics = {"asp.process_ms.count": 2, "asp.process_ms.sum": 1.0,
+                   "asp.process_ms.min": 0.1, "asp.process_ms.max": 0.9,
+                   "dropped_msgs": 5}
+        assert deterministic_metrics(metrics) \
+            == {"asp.process_ms.count": 2, "dropped_msgs": 5}
 
     def test_same_seed_same_json(self):
         a = run_audio_experiment(duration=3.0, seed=9,

@@ -175,6 +175,40 @@ class TestRunner:
         report = Runner().sweep([scenario, scenario])
         assert len(report.lines) == 1
 
+    def test_cache_hit_serves_requested_name(self, tmp_path,
+                                             counting_experiment):
+        """A hit for a same-content scenario under another name is
+        relabeled to the requested identity (and lands in the store
+        under it, so name-keyed loads work)."""
+        store = ResultStore(tmp_path)
+        runner = Runner(store)
+        runner.run(Scenario("standard/s", "_counting", {"knob": 2},
+                            seed=1))
+        result = runner.run(Scenario("full/s", "_counting", {"knob": 2},
+                                     seed=1, tags={"report"}))
+        assert counting_experiment == [(1, 2)]  # second was a hit
+        assert result.name == "full/s"
+        by_name = store.by_name()
+        assert by_name["full/s"]["record"]["name"] == "full/s"
+        assert by_name["full/s"]["tags"] == ["report"]
+        assert by_name["standard/s"]["record"]["name"] == "standard/s"
+
+    def test_sweep_runs_same_key_scenarios_once(self, tmp_path,
+                                                counting_experiment):
+        """Two scenarios with identical cache keys in one sweep execute
+        once; the duplicate is served from the first completion."""
+        store = ResultStore(tmp_path)
+        twins = [Scenario("standard/s", "_counting", {"knob": 2},
+                          seed=1),
+                 Scenario("full/s", "_counting", {"knob": 2}, seed=1)]
+        report = Runner(store).sweep(twins)
+        assert counting_experiment == [(1, 2)]  # ran exactly once
+        assert report.ran == ["standard/s"]
+        assert report.cached == ["full/s"]
+        assert {line["scenario"]: line["record"]["name"]
+                for line in report.lines} \
+            == {"standard/s": "standard/s", "full/s": "full/s"}
+
     def test_progress_callback_sees_both_kinds(self, tmp_path,
                                                counting_experiment):
         seen = []

@@ -47,6 +47,27 @@ class TestSnapshotShape:
         snap = net.metrics_snapshot(include_global=False)
         assert not any(key.startswith("global.") for key in snap)
 
+    def test_shared_obs_keeps_first_networks_clock_and_sim(self):
+        """A second network on one scope must not hijack the event
+        clock or the 'sim' stats of the first; it publishes its own
+        scheduler under 'sim2'."""
+        from repro.obs import Observability
+
+        obs = Observability()
+        first = Network(seed=1, obs=obs)
+        a = first.add_host("a")
+        b = first.add_host("b")
+        first.link(a, b)
+        first.finalize()
+        a.ip_send(udp_packet(a.address, b.address, 1, 2, b"x"))
+        first.run()
+        second = Network(seed=2, obs=obs)
+
+        assert obs.events.clock() == first.sim.now  # not second's 0.0
+        snap = obs.snapshot()
+        assert snap["sim.now"] == first.sim.now
+        assert snap["sim2.now"] == second.sim.now
+
 
 class TestDropAccounting:
     def test_queue_drops_count_and_log(self):
