@@ -23,8 +23,8 @@ CLI: ``python -m repro.tools.runx {list,run,sweep}``.
 
 from ..experiments.result import ExperimentResult
 from .cache import cache_key, code_fingerprint
-from .matrix import (FULL, MATRICES, QUICK, Scale, matrix, report_matrix,
-                     smoke_matrix, standard_matrix)
+from .matrix import (FULL, MATRICES, QUICK, Scale, chaos_matrix, matrix,
+                     report_matrix, smoke_matrix, standard_matrix)
 from .registry import get, names, rehydrate, run
 from .runner import (Runner, SweepReport, relabel_line,
                      run_scenario_line)
@@ -42,6 +42,7 @@ __all__ = [
     "Scenario",
     "SweepReport",
     "cache_key",
+    "chaos_matrix",
     "code_fingerprint",
     "filter_scenarios",
     "get",

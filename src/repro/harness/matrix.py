@@ -123,9 +123,41 @@ def smoke_matrix() -> list[Scenario]:
     ]
 
 
+def chaos_matrix() -> list[Scenario]:
+    """Fault/lifecycle drills: the poisoned-ASP drill plus the audio
+    and HTTP experiments under scripted link faults.  The
+    ``chaos-smoke`` tag marks the CI-scale subset (the drill itself is
+    already CI-scale; the app profiles get short durations)."""
+    def tags(*extra: str) -> frozenset[str]:
+        return frozenset({"chaos", *extra})
+
+    return [
+        Scenario("chaos/drill-16", "chaos",
+                 {"profile": "drill", "n_routers": 16,
+                  "duration": 12.0}, seed=5,
+                 tags=tags("drill", "chaos-smoke")),
+        Scenario("chaos/drill-4", "chaos",
+                 {"profile": "drill", "n_routers": 4, "duration": 10.0},
+                 seed=13, tags=tags("drill")),
+        Scenario("chaos/audio-faults", "chaos",
+                 {"profile": "audio", "duration": 20.0}, seed=7,
+                 tags=tags("audio")),
+        Scenario("chaos/audio-faults-smoke", "chaos",
+                 {"profile": "audio", "duration": 8.0}, seed=7,
+                 tags=tags("audio", "chaos-smoke")),
+        Scenario("chaos/http-faults", "chaos",
+                 {"profile": "http", "duration": 10.0}, seed=11,
+                 tags=tags("http")),
+        Scenario("chaos/http-faults-smoke", "chaos",
+                 {"profile": "http", "duration": 6.0}, seed=11,
+                 tags=tags("http", "chaos-smoke")),
+    ]
+
+
 MATRICES = {
     "standard": standard_matrix,
     "smoke": smoke_matrix,
+    "chaos": chaos_matrix,
     "report-quick": lambda: report_matrix(QUICK),
     "report-full": lambda: report_matrix(FULL),
 }

@@ -84,6 +84,7 @@ def _register_all() -> None:
                                        run_image_experiment)
     from ..apps.mpeg.experiment import (MpegExperimentResult,
                                         run_mpeg_experiment)
+    from ..experiments.chaos import ChaosResult, run_chaos_experiment
     from ..experiments.fig3 import Fig3Result, fig3_codegen_table
     from ..experiments.microbench import (MicrobenchResult,
                                           run_engine_microbench)
@@ -144,6 +145,11 @@ def _register_all() -> None:
              description="§2.4 engine microbenchmark (one engine)"
              )(lambda *, seed, **p: run_engine_microbench(seed=seed,
                                                           **p))
+
+    register("chaos", result_cls=ChaosResult,
+             description="lifecycle/fault chaos drill (one profile)"
+             )(lambda *, seed, **p: run_chaos_experiment(seed=seed,
+                                                         **p))
 
 
 _register_all()

@@ -247,6 +247,12 @@ class LoadedProgram:
     source_sha: str = ""
     #: did this load reuse any cached pipeline stage?
     cache_hit: bool = False
+    #: the program text itself — kept so the lifecycle manager can
+    #: re-install any generation on any node (rollback, half-open
+    #: retrial) without a side channel back to the original pusher
+    source: str = ""
+    #: did this load run the four safety analyses?
+    verified: bool = True
 
 
 def count_source_lines(source: str) -> int:
@@ -292,4 +298,6 @@ def load_program(source: str, *, backend: str = "closure",
                          codegen_ms=timer.elapsed_ms,
                          source_lines=count_source_lines(source),
                          source_sha=key,
-                         cache_hit=hit)
+                         cache_hit=hit,
+                         source=source,
+                         verified=verify)

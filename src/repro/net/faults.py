@@ -38,6 +38,34 @@ if TYPE_CHECKING:
     from .topology import Network
 
 
+class _PoisonedEngine:
+    """Engine proxy that fails every Nth invocation (fault drill).
+
+    A per-node wrapper rather than a patch on the engine itself:
+    compiled engines can be shared across nodes through the program
+    cache, and poisoning one node must not poison its neighbors.
+    """
+
+    def __init__(self, inner, every: int):
+        self.inner = inner
+        self.every = max(1, every)
+        self.calls = 0
+
+    def initial_channel_state(self, decl, ctx):
+        return self.inner.initial_channel_state(decl, ctx)
+
+    def run_channel(self, decl, protocol_state, channel_state,
+                    packet_value, ctx):
+        self.calls += 1
+        if self.calls % self.every == 0:
+            from ..lang.errors import PlanPRuntimeError
+
+            raise PlanPRuntimeError(
+                f"poisoned ASP (drill): invocation {self.calls}")
+        return self.inner.run_channel(decl, protocol_state,
+                                      channel_state, packet_value, ctx)
+
+
 class FaultController:
     """Injects faults into a network and reconverges routing."""
 
@@ -124,6 +152,32 @@ class FaultController:
                 restored += 1
         self._note(f"heal restored {restored} media")
         self.recompute_routes()
+
+    # -- ASP faults -------------------------------------------------------------
+
+    def poison_asp(self, node: "Node | str", every: int = 3) -> None:
+        """Corrupt a node's installed ASP: every ``every``-th channel
+        invocation raises a runtime error (contained by the PLAN-P
+        layer's fail-open path).  This is the drill primitive behind
+        the poisoned-ASP chaos scenarios — it exercises error
+        accounting, circuit breakers, and quarantine without needing a
+        program that is *actually* wrong.  Undone by
+        :meth:`unpoison_asp` (and implicitly by any reinstall, which
+        replaces the engine)."""
+        node = self._resolve(node)
+        layer = node.planp
+        if layer is None or layer.engine is None:
+            raise ValueError(f"{node.name} has no installed ASP to poison")
+        layer.engine = _PoisonedEngine(layer.engine, every)
+        self._note(f"poison asp {node.name} every={every}")
+
+    def unpoison_asp(self, node: "Node | str") -> None:
+        """Restore a poisoned node's original engine."""
+        node = self._resolve(node)
+        layer = node.planp
+        if layer is not None and isinstance(layer.engine, _PoisonedEngine):
+            layer.engine = layer.engine.inner
+            self._note(f"unpoison asp {node.name}")
 
     # -- scripting --------------------------------------------------------------
 

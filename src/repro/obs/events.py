@@ -10,16 +10,22 @@ process-global log falls back to wall-clock seconds.
 Event kinds in use across the repo (free-form strings; these are the
 conventions):
 
-=========  =====================================================
-``send``   a packet started transmission on a medium
-``drop``   a packet was discarded (``reason`` says where and why)
-``rx``     a packet arrived at a node (mirrored by PacketTracer)
-``up``     a packet was delivered locally (mirrored by PacketTracer)
-``fault``  an injected failure or recovery (FaultController)
-``deploy`` a deployment protocol milestone (push/install/reject)
-``jit``    a program-load pipeline completion
-``error``  an application handler error that was caught and counted
-=========  =====================================================
+==============  =====================================================
+``send``        a packet started transmission on a medium
+``drop``        a packet was discarded (``reason`` says where and why)
+``rx``          a packet arrived at a node (mirrored by PacketTracer)
+``up``          a packet was delivered locally (mirrored by PacketTracer)
+``fault``       an injected failure or recovery (FaultController)
+``deploy``      a deployment protocol milestone (push/install/reject)
+``jit``         a program-load pipeline completion
+``error``       an application handler error that was caught and counted
+``rollout``     a staged-rollout milestone: stage / canary / promote /
+                force-promote / abort (LifecycleManager)
+``quarantine``  a circuit-breaker transition on one node: trip /
+                half-open / close (LifecycleManager)
+``rollback``    a generation rollback: start / per-node / done
+                (LifecycleManager)
+==============  =====================================================
 
 The buffer is bounded: past ``max_events`` new records are counted in
 :attr:`EventLog.dropped` instead of stored, so a packet storm cannot

@@ -1,0 +1,697 @@
+"""ASP lifecycle management: staged rollout, quarantine, rollback.
+
+The paper's premise is hot-loading programs into live routers (§2.1,
+§5); this module is the operational defense against a *bad* one.  A
+:class:`LifecycleManager` layers three mechanisms over
+:class:`~repro.runtime.deployment.Deployment` /
+:mod:`~repro.runtime.netdeploy`:
+
+* **Versioned install history.**  Every managed node keeps a
+  generation-numbered list of :class:`Generation` records.  When a new
+  program supersedes a running one, the outgoing generation is
+  snapshotted *with* its protocol and channel state
+  (:class:`~repro.runtime.planp_layer.ProgramSnapshot`), so a rollback
+  restores the previous program exactly where it left off.  The history
+  is fed by a hook inside :meth:`PlanPLayer.install_loaded`, so installs
+  from any path — direct, :class:`Deployment`, a network
+  :class:`~repro.runtime.netdeploy.DeploymentService`, a manifest
+  replay after a crash — are all versioned.
+
+* **Staged, health-gated rollout.**  :meth:`LifecycleManager.rollout`
+  installs on a canary subset first, holds for
+  ``LifecyclePolicy.health_window`` simulated seconds, and judges the
+  canaries on packets processed, the runtime-error rate, and the
+  fleet-wide delivery-drop delta from ``Network.metrics_snapshot()``.
+  Healthy canaries promote the program to the rest of the fleet;
+  anything else aborts and rolls the canaries back::
+
+      STAGED ──> CANARY ──> PROMOTED
+                    └─────> ABORTED  (canaries rolled back)
+
+* **Error-budget circuit breaker.**  Each managed node runs a
+  :class:`CircuitBreaker` over a sliding sim-time window: more than
+  ``error_budget`` runtime errors inside ``budget_window`` seconds
+  trips it, the ASP is **quarantined** (uninstalled — the node reverts
+  to standard IP processing), and after ``cooldown`` seconds the
+  breaker half-opens for a retrial — or, once a generation has tripped
+  ``rollback_after_trips`` times on a node, triggers **automatic
+  rollback** of that generation across the fleet::
+
+      CLOSED ──(budget exceeded)──> OPEN ──(cooldown)──> HALF-OPEN
+         ^                                                   │
+         └──(probation_packets clean)────────────────────────┤
+                          OPEN <──(any error during retrial)─┘
+
+Transports: with no deployment manager, installs/rollbacks happen
+directly through :class:`Deployment` (state-preserving restore).  Given
+a :class:`~repro.runtime.netdeploy.DeploymentManager`, promotion and
+rollback ship over the wire instead — reusing the ack/backoff push
+machinery, and landing in each node's persistent install manifest so a
+crash replay converges on the rolled-back program.
+
+Everything is observable: ``rollout`` / ``quarantine`` / ``rollback``
+events in the network's event log, and a ``lifecycle.*`` metrics block
+(rollouts, trips, quarantined nodes, rollbacks) in every snapshot.
+All timing runs on the simulator clock, so drills are exactly
+reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..lang.errors import VerificationError
+from ..net.node import Node
+from ..net.topology import Network
+from .deployment import Deployment
+from .planp_layer import PlanPLayer, ProgramSnapshot
+
+if TYPE_CHECKING:
+    from ..jit.pipeline import LoadedProgram
+    from .netdeploy import DeploymentManager
+
+
+class RolloutState(enum.Enum):
+    STAGED = "staged"
+    CANARY = "canary"
+    PROMOTED = "promoted"
+    ABORTED = "aborted"
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Every knob of the lifecycle manager (times in sim-seconds)."""
+
+    #: fraction of the fleet used as canaries (at least ``min_canary``)
+    canary_fraction: float = 0.25
+    #: lower bound on the canary subset size
+    min_canary: int = 1
+    #: how long canaries hold before the health gate judges them
+    health_window: float = 1.0
+    #: canary runtime errors allowed per processed packet
+    max_error_rate: float = 0.0
+    #: fleet-wide delivery-drop increase allowed during the window
+    #: (``None`` disables the drop gate)
+    max_drop_delta: int | None = None
+    #: packets the canaries must process before the gate will promote;
+    #: a silent canary extends the window instead of judging blind
+    min_canary_packets: int = 1
+    #: window extensions granted to a silent canary before aborting
+    max_extensions: int = 3
+    #: runtime errors tolerated within ``budget_window`` before the
+    #: breaker trips (the error budget)
+    error_budget: int = 5
+    #: length of the breaker's sliding sim-time window
+    budget_window: float = 1.0
+    #: OPEN hold before a half-open retrial (or rollback)
+    cooldown: float = 0.5
+    #: clean packets a half-open ASP must process to close the breaker
+    probation_packets: int = 50
+    #: trips of one generation on one node before the manager stops
+    #: retrying and rolls the fleet back instead
+    rollback_after_trips: int = 2
+
+
+class CircuitBreaker:
+    """Error-budget circuit breaker over a sliding sim-time window.
+
+    Pure mechanism: it owns no node and schedules nothing — it just
+    answers "did this error exhaust the budget?" against an injected
+    clock.  The window is exact, not bucketed: the breaker trips at the
+    first error that makes *some* window of ``window`` seconds hold
+    more than ``budget`` errors, and never trips otherwise.
+    """
+
+    def __init__(self, *, budget: int, window: float,
+                 probation: int, clock: Callable[[], float]):
+        if budget < 0:
+            raise ValueError(f"negative error budget {budget}")
+        if window <= 0:
+            raise ValueError(f"non-positive window {window}")
+        self.budget = budget
+        self.window = window
+        self.probation = probation
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self.opened_at: float | None = None
+        self._errors: deque[float] = deque()
+        self._ok_run = 0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        errors = self._errors
+        while errors and errors[0] <= horizon:
+            errors.popleft()
+
+    @property
+    def errors_in_window(self) -> int:
+        self._expire(self.clock())
+        return len(self._errors)
+
+    def record_error(self) -> bool:
+        """Account one runtime error; True when it trips the breaker.
+
+        CLOSED trips when the window exceeds the budget; HALF_OPEN
+        trips on any error (the retrial failed); OPEN absorbs errors
+        from packets already in flight without re-tripping.
+        """
+        if self.state is BreakerState.OPEN:
+            return False
+        now = self.clock()
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip(now)
+            return True
+        self._errors.append(now)
+        self._expire(now)
+        if len(self._errors) > self.budget:
+            self._trip(now)
+            return True
+        return False
+
+    def record_ok(self) -> bool:
+        """Account one clean packet; True when a half-open probation
+        completes and the breaker closes."""
+        if self.state is not BreakerState.HALF_OPEN:
+            return False
+        self._ok_run += 1
+        if self._ok_run >= self.probation:
+            self.close()
+            return True
+        return False
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self.opened_at = now
+        self._errors.clear()
+
+    def half_open(self) -> None:
+        """Begin a retrial: traffic flows again, but one error re-trips."""
+        self.state = BreakerState.HALF_OPEN
+        self._ok_run = 0
+
+    def close(self) -> None:
+        """Fully reset: fresh budget, trip history kept."""
+        self.state = BreakerState.CLOSED
+        self._errors.clear()
+        self._ok_run = 0
+        self.opened_at = None
+
+
+@dataclass
+class Generation:
+    """One entry of a node's versioned install history."""
+
+    number: int
+    sha: str
+    source: str
+    backend: str
+    verified: bool
+    source_name: str = ""
+    #: simulated time of the install
+    installed_at: float = 0.0
+    #: program + live state captured when a newer generation superseded
+    #: this one (what a rollback restores)
+    snapshot: ProgramSnapshot | None = None
+
+
+class NodeLifecycle:
+    """Per-node lifecycle state: history + breaker + quarantine flag."""
+
+    def __init__(self, manager: "LifecycleManager", node: Node,
+                 layer: PlanPLayer):
+        self.manager = manager
+        self.node = node
+        self.layer = layer
+        policy = manager.policy
+        self.breaker = CircuitBreaker(
+            budget=policy.error_budget, window=policy.budget_window,
+            probation=policy.probation_packets,
+            clock=lambda: manager.net.sim.now)
+        #: generation-numbered install history, oldest first
+        self.generations: list[Generation] = []
+        #: generations removed by rollback (audit trail)
+        self.rolled_back: list[Generation] = []
+        self.quarantined = False
+        self._gen_counter = 0
+
+    @property
+    def current(self) -> Generation | None:
+        return self.generations[-1] if self.generations else None
+
+    # -- install hooks (called from PlanPLayer.install_loaded) -----------------
+
+    def before_install(self, loaded: "LoadedProgram") -> None:
+        current = self.current
+        if (current is not None and self.layer.loaded is not None
+                and loaded.source_sha != current.sha):
+            current.snapshot = self.layer.snapshot_program()
+
+    def on_install(self, loaded: "LoadedProgram") -> None:
+        self.quarantined = False
+        current = self.current
+        if current is not None and current.sha == loaded.source_sha:
+            # Re-install of the running generation (half-open retrial,
+            # manifest replay after a restart): same version, no new
+            # history entry — but its state snapshot is now stale.
+            current.snapshot = None
+            return
+        self._gen_counter += 1
+        self.generations.append(Generation(
+            number=self._gen_counter, sha=loaded.source_sha,
+            source=loaded.source, backend=loaded.backend,
+            verified=loaded.verified,
+            installed_at=self.manager.net.sim.now))
+        self.breaker.close()
+
+    # -- packet hooks (called from PlanPLayer._process_now) --------------------
+
+    def on_packet_ok(self) -> None:
+        if self.breaker.record_ok():
+            self.manager._on_probation_passed(self)
+
+    def on_packet_error(self, reason: str) -> None:
+        if self.breaker.record_error():
+            self.manager._on_trip(self, reason)
+
+
+@dataclass
+class Rollout:
+    """One staged rollout: STAGED → CANARY → PROMOTED / ABORTED."""
+
+    number: int
+    sha: str
+    source_name: str
+    nodes: list[str]
+    canary: list[str]
+    state: RolloutState = RolloutState.STAGED
+    #: why the rollout aborted (empty while live / after promotion)
+    reason: str = ""
+    #: canary health baseline: node -> (packets_processed, runtime_errors)
+    baseline: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: fleet delivery-drop count at canary time
+    baseline_drops: int = 0
+    #: health-window extensions granted to silent canaries
+    extensions: int = 0
+
+    @property
+    def decided(self) -> bool:
+        return self.state in (RolloutState.PROMOTED, RolloutState.ABORTED)
+
+
+class LifecycleManager:
+    """Operates ASPs across one network: rollout, quarantine, rollback."""
+
+    def __init__(self, net: Network, *,
+                 deployment: Deployment | None = None,
+                 netdeploy: "DeploymentManager | None" = None,
+                 policy: LifecyclePolicy | None = None):
+        self.net = net
+        self.policy = policy or LifecyclePolicy()
+        self.deployment = deployment or Deployment()
+        #: optional wire transport: installs/rollbacks go through the
+        #: ack/backoff push protocol instead of direct installation
+        self.netdeploy = netdeploy
+        self.nodes: dict[str, NodeLifecycle] = {}
+        self.rollouts: list[Rollout] = []
+        #: rollout number -> (source, backend, verify), for promotion
+        self._rollout_args: dict[int, tuple[str, str, bool]] = {}
+        # deterministic counters (all land in metrics snapshots)
+        self.promoted = 0
+        self.aborted = 0
+        self.trips = 0
+        self.quarantines = 0
+        self.half_opens = 0
+        self.closes = 0
+        self.rollbacks = 0
+        net.obs.metrics.register("lifecycle", self._stats_dict)
+
+    def _stats_dict(self) -> dict[str, int]:
+        return {
+            "managed_nodes": len(self.nodes),
+            "rollouts": len(self.rollouts),
+            "promoted": self.promoted,
+            "aborted": self.aborted,
+            "trips": self.trips,
+            "quarantines": self.quarantines,
+            "half_opens": self.half_opens,
+            "closes": self.closes,
+            "rollbacks": self.rollbacks,
+            "quarantined_nodes": sum(1 for nl in self.nodes.values()
+                                     if nl.quarantined),
+        }
+
+    # -- node management --------------------------------------------------------
+
+    def manage(self, *nodes: Node | str) -> list[NodeLifecycle]:
+        """Attach lifecycle state to nodes (idempotent); a node must be
+        managed before rollouts or breakers can cover it."""
+        out = []
+        for node in nodes:
+            node = self.net[node] if isinstance(node, str) else node
+            nl = self.nodes.get(node.name)
+            if nl is None:
+                layer = self.deployment.layer_of(node)
+                nl = NodeLifecycle(self, node, layer)
+                layer.lifecycle = nl
+                self.nodes[node.name] = nl
+                if layer.loaded is not None:
+                    # Adopt a pre-existing program as generation 1.
+                    nl.on_install(layer.loaded)
+            out.append(nl)
+        return out
+
+    def of(self, node: Node | str) -> NodeLifecycle:
+        name = node if isinstance(node, str) else node.name
+        return self.nodes[name]
+
+    def quarantined_nodes(self) -> list[str]:
+        return sorted(name for name, nl in self.nodes.items()
+                      if nl.quarantined)
+
+    # -- staged rollout ---------------------------------------------------------
+
+    def rollout(self, source: str, nodes: list[Node | str], *,
+                backend: str = "closure", verify: bool = True,
+                source_name: str = "<asp>",
+                canary: list[Node | str] | None = None,
+                force: bool = False) -> Rollout:
+        """Stage ``source`` across ``nodes``: canary first, then a
+        health-gated promotion (or abort + canary rollback).
+
+        ``canary`` overrides the policy's canary selection (the first
+        ``canary_fraction`` of the fleet, in the given order).
+        ``force=True`` skips the gate and promotes immediately — the
+        privileged operator path; the circuit breakers still guard it.
+        Raises :class:`VerificationError` (touching no node) when
+        ``verify`` is requested and fails.
+        """
+        managed = self.manage(*nodes)
+        names = [nl.node.name for nl in managed]
+        if verify:
+            # Front-end once, centrally — a rejected program reaches no
+            # node, exactly like Deployment.install.
+            cache = self.deployment.cache
+            key, info = cache.frontend(source, source_name)
+            report = cache.verification(key, info)
+            if not report.passed:
+                failure = report.failures[0]
+                raise VerificationError(
+                    f"{source_name} rejected by {failure.name}: "
+                    f"{failure.detail}", analysis=failure.name)
+        from ..jit.pipeline import ProgramCache
+
+        sha = ProgramCache.digest(source)
+        if canary is not None:
+            canary_names = [self.net[n].name if isinstance(n, str)
+                            else n.name for n in canary]
+        else:
+            count = max(self.policy.min_canary,
+                        int(len(names) * self.policy.canary_fraction))
+            canary_names = names[:min(count, len(names))]
+        rollout = Rollout(number=len(self.rollouts) + 1, sha=sha,
+                          source_name=source_name, nodes=names,
+                          canary=list(canary_names))
+        self.rollouts.append(rollout)
+        self._rollout_args[rollout.number] = (source, backend, verify)
+        self._emit("rollout", action="stage", rollout=rollout.number,
+                   sha=sha[:12], nodes=len(names),
+                   canary=len(canary_names), name=source_name)
+        if force:
+            self._install(source, names, backend, verify, source_name)
+            rollout.state = RolloutState.PROMOTED
+            self.promoted += 1
+            self._emit("rollout", action="force-promote",
+                       rollout=rollout.number, sha=sha[:12],
+                       nodes=len(names))
+            return rollout
+        self._install(source, canary_names, backend, verify, source_name)
+        rollout.state = RolloutState.CANARY
+        self._begin_health_window(rollout)
+        self._emit("rollout", action="canary", rollout=rollout.number,
+                   sha=sha[:12], nodes=len(canary_names))
+        return rollout
+
+    def _begin_health_window(self, rollout: Rollout) -> None:
+        rollout.baseline = {
+            name: (self.nodes[name].layer.stats.packets_processed,
+                   self.nodes[name].layer.stats.runtime_errors)
+            for name in rollout.canary}
+        rollout.baseline_drops = self._fleet_drops()
+        self.net.sim.schedule(self.policy.health_window,
+                              lambda: self._judge(rollout))
+
+    def _fleet_drops(self) -> int:
+        """Fleet-wide delivery drops (the ``drops_total`` counter every
+        node and medium taps into)."""
+        snap = self.net.metrics_snapshot(include_global=False)
+        value = snap.get("drops_total", 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    def _judge(self, rollout: Rollout) -> None:
+        """The canary health gate, fired ``health_window`` after the
+        canary install."""
+        if rollout.state is not RolloutState.CANARY:
+            return  # superseded (tripped canary already aborted it)
+        policy = self.policy
+        processed = 0
+        failures: list[str] = []
+        for name in rollout.canary:
+            nl = self.nodes[name]
+            base_p, base_e = rollout.baseline[name]
+            dp = nl.layer.stats.packets_processed - base_p
+            de = nl.layer.stats.runtime_errors - base_e
+            processed += dp
+            if nl.quarantined or nl.breaker.state is not BreakerState.CLOSED:
+                failures.append(f"{name}: breaker "
+                                f"{nl.breaker.state.value}")
+            elif nl.current is None or nl.current.sha != rollout.sha:
+                failures.append(f"{name}: canary lost the program")
+            elif de > 0 and de > policy.max_error_rate * max(dp, 1):
+                failures.append(f"{name}: {de} errors / {dp} packets")
+        if policy.max_drop_delta is not None:
+            drop_delta = self._fleet_drops() - rollout.baseline_drops
+            if drop_delta > policy.max_drop_delta:
+                failures.append(f"fleet: {drop_delta} delivery drops")
+        if not failures and processed < policy.min_canary_packets:
+            if rollout.extensions < policy.max_extensions:
+                # Silent canaries are not evidence; hold a bit longer.
+                rollout.extensions += 1
+                self.net.sim.schedule(policy.health_window,
+                                      lambda: self._judge(rollout))
+                return
+            failures.append(f"canaries processed {processed} packets "
+                            f"in {rollout.extensions + 1} windows")
+        if failures:
+            self._abort(rollout, "; ".join(failures))
+        else:
+            self._promote(rollout)
+
+    def _promote(self, rollout: Rollout) -> None:
+        source, backend, verify = self._rollout_args[rollout.number]
+        rest = [n for n in rollout.nodes if n not in set(rollout.canary)]
+        self._install(source, rest, backend, verify,
+                      rollout.source_name)
+        rollout.state = RolloutState.PROMOTED
+        self.promoted += 1
+        self._emit("rollout", action="promote", rollout=rollout.number,
+                   sha=rollout.sha[:12], nodes=len(rest))
+
+    def _abort(self, rollout: Rollout, reason: str) -> None:
+        rollout.state = RolloutState.ABORTED
+        rollout.reason = reason
+        self.aborted += 1
+        self._emit("rollout", action="abort", rollout=rollout.number,
+                   sha=rollout.sha[:12], reason=reason)
+        self._rollback_nodes(rollout.canary, rollout.sha,
+                             reason=f"canary abort: {reason}")
+
+    # -- installs (direct or over the wire) ------------------------------------
+
+    def _install(self, source: str, names: list[str], backend: str,
+                 verify: bool, source_name: str) -> None:
+        if not names:
+            return
+        if self.netdeploy is None:
+            self.deployment.install(
+                source, [self.nodes[n].node for n in names],
+                backend=backend, verify=verify, source_name=source_name)
+        else:
+            self.netdeploy.push(
+                source, [self.nodes[n].node.address for n in names],
+                backend=backend, verify=verify)
+
+    # -- circuit breaker orchestration -----------------------------------------
+
+    def _on_trip(self, nl: NodeLifecycle, reason: str) -> None:
+        """A node's breaker tripped: quarantine the ASP and schedule
+        the cool-down decision."""
+        self.trips += 1
+        gen = nl.current
+        gen_number = gen.number if gen is not None else 0
+        self.quarantines += 1
+        nl.quarantined = True
+        nl.layer.uninstall()
+        nl.layer.quarantined = True
+        self._emit("quarantine", action="trip", node=nl.node.name,
+                   generation=gen_number,
+                   sha=(gen.sha[:12] if gen is not None else ""),
+                   trips=nl.breaker.trips, reason=reason)
+        # A tripped canary decides its rollout immediately — no point
+        # holding the health window open over a quarantined node.
+        for rollout in self.rollouts:
+            if (rollout.state is RolloutState.CANARY
+                    and nl.node.name in rollout.canary
+                    and gen is not None and rollout.sha == gen.sha):
+                self._abort(rollout,
+                            f"{nl.node.name}: error budget exhausted")
+                return
+        self.net.sim.schedule(
+            self.policy.cooldown,
+            lambda: self._after_cooldown(nl, gen_number))
+
+    def _after_cooldown(self, nl: NodeLifecycle, gen_number: int) -> None:
+        gen = nl.current
+        if (not nl.quarantined or gen is None
+                or gen.number != gen_number):
+            return  # rolled back or replaced while cooling down
+        if nl.breaker.trips >= self.policy.rollback_after_trips:
+            # Out of retrials.  Roll the generation back fleet-wide —
+            # to its predecessor where one exists, to standard IP
+            # processing where this was the first install.
+            self._rollback_fleet(gen.sha,
+                                 reason=f"{nl.node.name} tripped "
+                                        f"{nl.breaker.trips}x")
+            return
+        # Half-open retrial: reinstall the same generation (warm, via
+        # the program cache) and watch it under probation.
+        self.half_opens += 1
+        nl.breaker.half_open()
+        self._emit("quarantine", action="half-open", node=nl.node.name,
+                   generation=gen.number, sha=gen.sha[:12])
+        self._install(gen.source, [nl.node.name], gen.backend,
+                      gen.verified, gen.source_name or "<retrial>")
+
+    def _on_probation_passed(self, nl: NodeLifecycle) -> None:
+        self.closes += 1
+        gen = nl.current
+        self._emit("quarantine", action="close", node=nl.node.name,
+                   generation=(gen.number if gen is not None else 0))
+
+    # -- rollback ---------------------------------------------------------------
+
+    def rollback(self, sha: str | None = None, *,
+                 reason: str = "operator") -> list[str]:
+        """Roll every node running generation ``sha`` (default: its
+        newest generation) back to the one before it.  Returns the
+        nodes rolled back."""
+        if sha is not None:
+            names = [name for name, nl in self.nodes.items()
+                     if (nl.current is not None
+                         and nl.current.sha == sha)
+                     or (nl.quarantined and nl.generations
+                         and nl.generations[-1].sha == sha)]
+        else:
+            names = [name for name, nl in self.nodes.items()
+                     if len(nl.generations) > 1]
+        return self._rollback_nodes(sorted(names), sha, reason=reason)
+
+    def _rollback_fleet(self, sha: str, *, reason: str) -> None:
+        """Automatic rollback: every managed node on ``sha`` reverts."""
+        self.rollbacks += 1
+        names = [name for name in sorted(self.nodes)
+                 if (nl := self.nodes[name]).generations
+                 and nl.generations[-1].sha == sha]
+        self._emit("rollback", action="start", sha=sha[:12],
+                   nodes=len(names), reason=reason)
+        rolled = self._rollback_nodes(names, sha, reason=reason)
+        self._emit("rollback", action="done", sha=sha[:12],
+                   nodes=len(rolled))
+
+    def _rollback_nodes(self, names: list[str], sha: str | None, *,
+                        reason: str) -> list[str]:
+        rolled: list[str] = []
+        for name in names:
+            nl = self.nodes[name]
+            if not nl.generations:
+                continue
+            bad = nl.generations[-1]
+            if sha is not None and bad.sha != sha:
+                continue
+            if len(nl.generations) < 2:
+                # Nothing to return to: leave standard IP processing.
+                nl.generations.pop()
+                nl.rolled_back.append(bad)
+                nl.layer.uninstall()
+                nl.layer.quarantined = False
+                nl.quarantined = False
+                nl.breaker.close()
+                self._emit("rollback", action="node", node=name,
+                           from_generation=bad.number, to_generation=0,
+                           reason=reason)
+                rolled.append(name)
+                continue
+            nl.generations.pop()
+            nl.rolled_back.append(bad)
+            prev = nl.generations[-1]
+            self._restore(nl, prev)
+            nl.quarantined = False
+            nl.breaker.close()
+            self._emit("rollback", action="node", node=name,
+                       from_generation=bad.number,
+                       to_generation=prev.number, reason=reason)
+            rolled.append(name)
+        return rolled
+
+    def _restore(self, nl: NodeLifecycle, gen: Generation) -> None:
+        """Reinstate ``gen`` on ``nl``'s node: a state-preserving
+        restore when its snapshot survives and we operate directly, a
+        reinstall over the wire otherwise."""
+        if self.netdeploy is not None:
+            # Over the wire: the push lands in the node's persistent
+            # install manifest, so crash replays converge on it too.
+            self.netdeploy.push(gen.source, [nl.node.address],
+                                backend=gen.backend,
+                                verify=gen.verified)
+            gen.snapshot = None
+            return
+        snap = gen.snapshot
+        if snap is not None:
+            nl.layer.restore_program(snap)
+            gen.snapshot = None
+        else:
+            self.deployment.install(
+                gen.source, [nl.node], backend=gen.backend,
+                verify=gen.verified,
+                source_name=gen.source_name or "<rollback>")
+
+    # -- helpers ----------------------------------------------------------------
+
+    def settle(self, timeout: float = 30.0, poll: float = 0.05) -> bool:
+        """Drive the simulation until no rollout is undecided and no
+        node is quarantined (or ``timeout`` sim-seconds pass).  Returns
+        True when the fleet settled healthy."""
+        sim = self.net.sim
+        horizon = sim.now + timeout
+
+        def settled() -> bool:
+            return (all(r.decided for r in self.rollouts)
+                    and not any(nl.quarantined
+                                for nl in self.nodes.values()))
+
+        while sim.now < horizon and not settled():
+            sim.run(until=min(sim.now + poll, horizon))
+        return settled()
+
+    def _emit(self, kind: str, **data) -> None:
+        self.net.obs.events.emit(kind, **data)

@@ -20,14 +20,25 @@ the decl matched in :meth:`PlanPLayer.wants` is carried into
 :meth:`PlanPLayer.process`, so each packet is matched exactly once.
 
 A verified program cannot raise at run time on any *delivered* path, but
-the layer still guards: if a channel invocation fails, the packet falls
-back to standard processing and the error is counted — an unverified
-(privileged) program must not take the node down.
+the layer still guards: if a channel invocation fails — including a
+decoder choking on a truncated or garbage payload, or an emission that
+cannot be encoded — the packet falls back to standard processing and the
+error is counted — an unverified (privileged) program must not take the
+node down.
+
+The layer also carries the hooks of the ASP lifecycle manager
+(:mod:`repro.runtime.lifecycle`): a ``quarantined`` gate that reverts
+the node to standard IP processing while an error-budget circuit
+breaker is open, per-packet success/error callbacks feeding that
+breaker, and :meth:`snapshot_program` / :meth:`restore_program` so a
+rollback can reinstate the previous generation *with* its protocol and
+channel state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..interp.values import default_value
 from ..jit.pipeline import Engine, LoadedProgram, load_program
@@ -41,6 +52,9 @@ from ..net.sim import SerialResource
 from ..obs.metrics import Histogram
 from . import codec
 
+if TYPE_CHECKING:
+    from .lifecycle import NodeLifecycle
+
 
 @dataclass
 class PlanPStats:
@@ -53,6 +67,25 @@ class PlanPStats:
     fastpath_dispatches: int = 0
     #: dispatch decisions that fell back to the structural matcher
     structural_dispatches: int = 0
+
+
+@dataclass
+class ProgramSnapshot:
+    """A program plus its live state, captured for rollback.
+
+    The lifecycle manager snapshots the running generation before a new
+    one replaces it; :meth:`PlanPLayer.restore_program` reinstates the
+    program *and* the protocol/channel state it had accumulated —
+    rollback does not reset a restored protocol to its initial state.
+    """
+
+    loaded: LoadedProgram
+    protocol_state: object
+    channel_states: dict[int, object] = field(default_factory=dict)
+
+
+#: missing-channel-state sentinel (``None`` is a legal state value)
+_NO_STATE = object()
 
 
 class _DispatchEntry:
@@ -102,6 +135,14 @@ class PlanPLayer:
         #: opt-in per-packet processing-time histogram (ms); ``None``
         #: keeps the hot path at a single truthiness check
         self.profile: Histogram | None = None
+        #: circuit-breaker gate: while True the layer matches nothing
+        #: and every packet takes standard IP processing.  Installing a
+        #: program lifts the gate (the quarantined program is gone).
+        self.quarantined = False
+        #: the node's lifecycle handle (set by
+        #: :meth:`repro.runtime.lifecycle.LifecycleManager.manage`);
+        #: ``None`` keeps the packet path at one attribute check
+        self.lifecycle: "NodeLifecycle | None" = None
 
     def enable_profiling(self) -> Histogram:
         """Time every channel invocation into the node network's
@@ -132,6 +173,10 @@ class PlanPLayer:
         return loaded
 
     def install_loaded(self, loaded: LoadedProgram) -> None:
+        if self.lifecycle is not None:
+            # Versioned history: snapshot the superseded generation's
+            # program + state so a rollback can restore it.
+            self.lifecycle.before_install(loaded)
         self.loaded = loaded
         self.engine = loaded.engine
         if loaded.source_sha:
@@ -149,12 +194,16 @@ class PlanPLayer:
             for decl in channels}
         self._dispatch = self._build_dispatch_table(channels)
         self._carry = None
+        # A fresh install replaces whatever was quarantined.
+        self.quarantined = False
         obs = self.node.obs
         if obs is not None:
             obs.events.emit("deploy", node=self.node.name,
                             action="install",
                             sha=loaded.source_sha or "",
                             engine=type(self.engine).__name__)
+        if self.lifecycle is not None:
+            self.lifecycle.on_install(loaded)
 
     def _build_dispatch_table(
             self, channels: list[ast.ChannelDecl],
@@ -180,11 +229,54 @@ class PlanPLayer:
         return self.loaded.source_sha if self.loaded is not None else None
 
     def uninstall(self) -> None:
+        """Remove the program — and every trace of its run-time state
+        (protocol state, per-channel states, the match table), so a
+        later reinstall starts from a clean slate."""
         self.loaded = None
         self.engine = None
+        self.protocol_state = None
         self.channel_states = {}
         self._dispatch = None
         self._carry = None
+
+    # -- lifecycle support (rollback with state) ---------------------------------
+
+    def snapshot_program(self) -> ProgramSnapshot | None:
+        """Capture the running program plus its live protocol/channel
+        state (``None`` when nothing is installed)."""
+        if self.loaded is None:
+            return None
+        return ProgramSnapshot(loaded=self.loaded,
+                               protocol_state=self.protocol_state,
+                               channel_states=dict(self.channel_states))
+
+    def restore_program(self, snap: ProgramSnapshot) -> None:
+        """Reinstate a snapshotted generation *with* its state.
+
+        The rollback path of :mod:`repro.runtime.lifecycle`: unlike
+        :meth:`install_loaded`, the protocol and channel states come
+        back exactly as the generation left them.  Lifecycle hooks are
+        *not* re-entered — the manager that restores also bookkeeps.
+        """
+        self.loaded = snap.loaded
+        self.engine = snap.loaded.engine
+        on_install = getattr(self.engine, "on_install", None)
+        if on_install is not None:
+            on_install(self)
+        self.protocol_state = snap.protocol_state
+        self.channel_states = dict(snap.channel_states)
+        self._dispatch = self._build_dispatch_table(
+            snap.loaded.info.all_channels())
+        self._carry = None
+        self.quarantined = False
+        if snap.loaded.source_sha:
+            self.manifest.append(snap.loaded.source_sha)
+        obs = self.node.obs
+        if obs is not None:
+            obs.events.emit("deploy", node=self.node.name,
+                            action="restore",
+                            sha=snap.loaded.source_sha or "",
+                            engine=type(self.engine).__name__)
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -230,7 +322,7 @@ class PlanPLayer:
         return None
 
     def wants(self, packet: Packet, iface: Interface | None) -> bool:
-        if self.loaded is None:
+        if self.loaded is None or self.quarantined:
             return False
         hit = self._lookup(packet)
         self._carry = (packet.uid, hit)
@@ -260,37 +352,48 @@ class PlanPLayer:
             self.node.standard_processing(packet, iface)
             return
         decl, decoder = hit
-        assert self.engine is not None
-        if decoder is not None:
-            value = decoder(packet)
-        else:
-            value = codec.decode(packet, decl.packet_type)  # type: ignore[arg-type]
+        engine = self.engine
+        state = self.channel_states.get(id(decl), _NO_STATE)
+        if engine is None or state is _NO_STATE:
+            # Stale classification: the program was uninstalled,
+            # quarantined, or replaced between wants() and a
+            # CPU-deferred execution.  Not an error — the packet simply
+            # predates the change; give it standard treatment.
+            self.node.standard_processing(packet, iface)
+            return
         self.stats.packets_processed += 1
+        try:
+            if decoder is not None:
+                value = decoder(packet)
+            else:
+                value = codec.decode(packet, decl.packet_type)  # type: ignore[arg-type]
+        except Exception as err:
+            # A truncated or garbage payload must not take the node
+            # down: decoding is driven entirely by wire data, so any
+            # failure here is the packet's fault, never the program's.
+            self._contain(decl, err, reason="decode")
+            self.node.standard_processing(packet, iface)
+            return
         self._arrival_iface = iface
         self._arrival_packet = packet
         emitted_before = (self.stats.packets_emitted
                           + self.stats.packets_delivered)
         try:
             if self.profile is None:
-                ps, ss = self.engine.run_channel(
-                    decl, self.protocol_state,
-                    self.channel_states[id(decl)], value, self)
+                ps, ss = engine.run_channel(
+                    decl, self.protocol_state, state, value, self)
             else:
                 with self.profile.time():
-                    ps, ss = self.engine.run_channel(
-                        decl, self.protocol_state,
-                        self.channel_states[id(decl)], value, self)
-        except PlanPError as err:
+                    ps, ss = engine.run_channel(
+                        decl, self.protocol_state, state, value, self)
+        except (PlanPError, codec.CodecError) as err:
             # Fail open: the node survives and the error is visible in
             # stats.  The packet gets standard treatment only if the
             # failed invocation had not already emitted it - otherwise
-            # falling back would duplicate it.
-            self.stats.runtime_errors += 1
-            obs = self.node.obs
-            if obs is not None:
-                obs.events.emit("error", node=self.node.name,
-                                where="asp", channel=decl.name,
-                                detail=str(err))
+            # falling back would duplicate it.  CodecError covers an
+            # unverified program emitting a value that cannot be
+            # encoded — previously that escaped containment entirely.
+            self._contain(decl, err, reason="runtime")
             emitted_after = (self.stats.packets_emitted
                              + self.stats.packets_delivered)
             if emitted_after == emitted_before:
@@ -301,6 +404,21 @@ class PlanPLayer:
             self._arrival_packet = None
         self.protocol_state = ps
         self.channel_states[id(decl)] = ss
+        if self.lifecycle is not None:
+            self.lifecycle.on_packet_ok()
+
+    def _contain(self, decl: ast.ChannelDecl, err: Exception,
+                 reason: str) -> None:
+        """Account a contained per-packet failure: count it, log it,
+        and feed the node's circuit breaker (if one is attached)."""
+        self.stats.runtime_errors += 1
+        obs = self.node.obs
+        if obs is not None:
+            obs.events.emit("error", node=self.node.name,
+                            where="asp", channel=decl.name,
+                            reason=reason, detail=str(err))
+        if self.lifecycle is not None:
+            self.lifecycle.on_packet_error(reason)
 
     # -- ExecutionContext implementation ---------------------------------------------
 

@@ -6,6 +6,7 @@
     python -m repro.tools.obsdump images --json out.json
     python -m repro.tools.obsdump mpeg --quick
     python -m repro.tools.obsdump microbench
+    python -m repro.tools.obsdump chaos --lifecycle
 
 Each mode runs one scenario and dumps its metrics snapshot as sorted
 JSON on stdout; ``--events`` additionally prints the structured event
@@ -17,6 +18,11 @@ to a file instead, which is the shape the CI artifact uses.
 over the wire, a congested bottleneck link dropping packets, and a
 scripted link flap — so every event kind (``deploy``, ``drop``,
 ``fault``, ``jit``) shows up in one run.
+
+``chaos`` runs the poisoned-ASP lifecycle drill (rollouts, breaker
+trips, quarantine, automatic rollback); combined with ``--lifecycle``
+it prints the per-node lifecycle summary — rollout generations, trips,
+and rollbacks folded from the event log — instead of raw metrics.
 """
 
 from __future__ import annotations
@@ -27,7 +33,8 @@ import sys
 
 from ..obs import GLOBAL
 
-MODES = ("demo", "audio", "http", "images", "mpeg", "microbench")
+MODES = ("demo", "audio", "http", "images", "mpeg", "microbench",
+         "chaos")
 
 
 # ---------------------------------------------------------------------------
@@ -101,6 +108,61 @@ def _run_mpeg(quick: bool) -> tuple[dict, list]:
     return result.metrics, []
 
 
+def _run_chaos(quick: bool) -> tuple[dict, list]:
+    """The poisoned-ASP lifecycle drill, with its full event log."""
+    from ..experiments.chaos import run_chaos_experiment
+    from ..obs import Observability
+
+    obs = Observability()
+    result = run_chaos_experiment(profile="drill",
+                                  n_routers=4 if quick else 16,
+                                  duration=8.0 if quick else 12.0,
+                                  seed=5, obs=obs)
+    events = [record.to_dict() for record in obs.events.filter()]
+    return result.metrics, events
+
+
+def lifecycle_summary(events: list[dict]) -> dict:
+    """Fold an event list into the ``--lifecycle`` view: rollout
+    totals, plus per-node installs, breaker trips, half-opens, closes,
+    rollbacks, and the generation each node ended on."""
+    totals = {"rollouts": 0, "promoted": 0, "aborted": 0,
+              "fleet_rollbacks": 0}
+    nodes: dict[str, dict] = {}
+
+    def node(name: str) -> dict:
+        return nodes.setdefault(name, {
+            "installs": 0, "trips": 0, "half_opens": 0, "closes": 0,
+            "rollbacks": 0, "generation": None})
+
+    for event in events:
+        kind = event.get("kind")
+        action = event.get("action", "")
+        if kind == "deploy" and action in ("install", "restore"):
+            node(event["node"])["installs"] += 1
+        elif kind == "rollout":
+            if action == "stage":
+                totals["rollouts"] += 1
+            elif action in ("promote", "force-promote"):
+                totals["promoted"] += 1
+            elif action == "abort":
+                totals["aborted"] += 1
+        elif kind == "quarantine":
+            key = {"trip": "trips", "half-open": "half_opens",
+                   "close": "closes"}.get(action)
+            if key is not None:
+                node(event["node"])[key] += 1
+        elif kind == "rollback":
+            if action == "start":
+                totals["fleet_rollbacks"] += 1
+            elif action == "node":
+                entry = node(event["node"])
+                entry["rollbacks"] += 1
+                entry["generation"] = event.get("to_generation")
+    return {"totals": totals,
+            "nodes": {name: nodes[name] for name in sorted(nodes)}}
+
+
 def _run_microbench(quick: bool) -> tuple[dict, list]:
     from ..experiments.microbench import run_engine_microbench
 
@@ -129,6 +191,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="N", help="print at most N events")
     parser.add_argument("--json", metavar="PATH",
                         help="write {metrics, events} JSON to a file")
+    parser.add_argument("--lifecycle", action="store_true",
+                        help="summarize rollout generations, breaker "
+                             "trips and rollbacks per node from the "
+                             "event log (instead of raw metrics)")
     args = parser.parse_args(argv)
 
     if args.mode == "demo":
@@ -137,6 +203,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.mode == "microbench":
         metrics, events = _run_microbench(args.quick)
         show_events = args.events
+    elif args.mode == "chaos":
+        metrics, events = _run_chaos(args.quick)
+        show_events = args.events
     else:
         runner = {"audio": _run_audio, "http": _run_http,
                   "images": _run_images, "mpeg": _run_mpeg}[args.mode]
@@ -144,11 +213,18 @@ def main(argv: list[str] | None = None) -> int:
         show_events = args.events and events
 
     if args.json:
+        doc = {"mode": args.mode, "metrics": metrics, "events": events}
+        if args.lifecycle:
+            doc["lifecycle"] = lifecycle_summary(events)
         with open(args.json, "w") as fp:
-            json.dump({"mode": args.mode, "metrics": metrics,
-                       "events": events}, fp, indent=2, sort_keys=True,
-                      default=str)
+            json.dump(doc, fp, indent=2, sort_keys=True, default=str)
         print(f"wrote {args.json}", file=sys.stderr)
+        return 0
+
+    if args.lifecycle:
+        json.dump(lifecycle_summary(events), sys.stdout, indent=2,
+                  sort_keys=True, default=str)
+        sys.stdout.write("\n")
         return 0
 
     json.dump(metrics, sys.stdout, indent=2, sort_keys=True, default=str)

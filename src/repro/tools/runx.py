@@ -30,7 +30,7 @@ from typing import Any
 from ..harness import (Runner, ResultStore, Scenario, filter_scenarios,
                        matrix, rehydrate)
 
-MATRIX_CHOICES = ("all", "standard", "smoke", "report-quick",
+MATRIX_CHOICES = ("all", "standard", "smoke", "chaos", "report-quick",
                   "report-full")
 
 

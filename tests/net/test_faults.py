@@ -224,3 +224,35 @@ class TestRouteRecompute:
         assert out.medium.name == "a--r2"
         # The crashed node's own table was left alone (it is down).
         assert r1.routes.lookup(b.address) is not None
+
+
+class TestPoisonAsp:
+    def test_poison_makes_every_nth_invocation_fail(self):
+        import pytest
+        net, a, r1, r2, b, links = diamond()
+        layer = PlanPLayer(r1)
+        layer.install(FORWARD)
+        net.faults.poison_asp(r1, every=2)
+        from repro.net.packet import tcp_packet
+        for _ in range(4):
+            a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.sim.run_until_idle()
+        routed_via_r1 = layer.stats.packets_processed
+        assert routed_via_r1 == 4  # the seed routes a->b via r1
+        assert layer.stats.runtime_errors == routed_via_r1 // 2
+        assert r1.up  # contained, never crashed
+        net.faults.unpoison_asp(r1)
+        before = layer.stats.runtime_errors
+        for _ in range(4):
+            a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.sim.run_until_idle()
+        assert layer.stats.runtime_errors == before
+        with pytest.raises(ValueError):
+            net.faults.poison_asp(r2)  # nothing installed there
+
+    def test_poison_is_logged_as_fault(self):
+        net, a, r1, r2, b, links = diamond()
+        layer = PlanPLayer(r1)
+        layer.install(FORWARD)
+        net.faults.poison_asp(r1)
+        assert any("poison asp r1" in text for _, text in net.faults.log)

@@ -210,3 +210,53 @@ class TestErrorCounting:
         assert result.metrics  # snapshot taken at end of run
         assert result.metrics["sim.now"] > 0.0
         assert any(key.startswith("node.") for key in result.metrics)
+
+
+class TestLifecycleSummary:
+    """The ``obsdump --lifecycle`` fold over an event list."""
+
+    EVENTS = [
+        {"kind": "deploy", "action": "install", "node": "r0"},
+        {"kind": "deploy", "action": "install", "node": "r1"},
+        {"kind": "rollout", "action": "stage"},
+        {"kind": "rollout", "action": "canary"},
+        {"kind": "quarantine", "action": "trip", "node": "r0"},
+        {"kind": "rollout", "action": "abort"},
+        {"kind": "rollback", "action": "start"},
+        {"kind": "rollback", "action": "node", "node": "r0",
+         "to_generation": 1},
+        {"kind": "rollback", "action": "done"},
+        {"kind": "quarantine", "action": "half-open", "node": "r1"},
+        {"kind": "quarantine", "action": "close", "node": "r1"},
+        {"kind": "deploy", "action": "restore", "node": "r0"},
+        {"kind": "rollout", "action": "stage"},
+        {"kind": "rollout", "action": "promote"},
+    ]
+
+    def test_fold(self):
+        from repro.tools.obsdump import lifecycle_summary
+
+        summary = lifecycle_summary(self.EVENTS)
+        assert summary["totals"] == {"rollouts": 2, "promoted": 1,
+                                     "aborted": 1, "fleet_rollbacks": 1}
+        assert summary["nodes"]["r0"] == {
+            "installs": 2, "trips": 1, "half_opens": 0, "closes": 0,
+            "rollbacks": 1, "generation": 1}
+        assert summary["nodes"]["r1"]["half_opens"] == 1
+        assert summary["nodes"]["r1"]["closes"] == 1
+
+    def test_fold_matches_live_drill(self):
+        from repro.experiments.chaos import run_chaos_experiment
+        from repro.obs import Observability
+        from repro.tools.obsdump import lifecycle_summary
+
+        obs = Observability()
+        run_chaos_experiment(profile="drill", n_routers=4,
+                             duration=8.0, seed=5, obs=obs)
+        events = [r.to_dict() for r in obs.events.filter()]
+        summary = lifecycle_summary(events)
+        assert summary["totals"]["fleet_rollbacks"] >= 1
+        assert len(summary["nodes"]) >= 4
+        assert all(entry["generation"] == 1
+                   for name, entry in summary["nodes"].items()
+                   if entry["rollbacks"])

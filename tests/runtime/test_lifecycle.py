@@ -1,0 +1,516 @@
+"""Lifecycle manager tests: history, rollout gate, breaker, rollback."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jit.pipeline import ProgramCache
+from repro.lang import VerificationError
+from repro.net import Network
+from repro.net.packet import udp_packet
+from repro.runtime import (BreakerState, CircuitBreaker, Deployment,
+                           LifecycleManager, LifecyclePolicy, RolloutState)
+
+GOOD = ("channel network(ps : int, ss : unit, p : ip*udp*blob) is "
+        "(OnRemote(network, p); (ps + 1, ss))")
+
+GOOD_V2 = ("channel network(ps : int, ss : unit, p : ip*udp*blob) is "
+           "(OnRemote(network, p); (ps + 2, ss))")
+
+#: Raises DivideByZero whenever the first payload byte is 0 mod 5 —
+#: rejected by the delivery analysis, so it ships with verify=False.
+BAD = """
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  let
+    val body : blob = #3 p
+    val seq : int = blobByte(body, 0)
+    val poison : int = 1 / (seq mod 5)
+  in
+    (OnRemote(network, p); (ps + poison - poison + 1, ss))
+  end
+"""
+
+UNSAFE = ("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+          "(OnRemote(network, p); OnRemote(network, p); (ps, ss))")
+
+
+def chain_net(n_routers=4, seed=5):
+    net = Network(seed=seed)
+    src = net.add_host("src")
+    routers = [net.add_router(f"r{i}") for i in range(n_routers)]
+    dst = net.add_host("dst")
+    prev = src
+    for r in routers:
+        net.link(prev, r, bandwidth=100e6, latency=0.0002)
+        prev = r
+    net.link(prev, dst, bandwidth=100e6, latency=0.0002)
+    net.finalize()
+    return net, src, routers, dst
+
+
+def traffic(net, src, dst, tick=0.02):
+    """Start a rotating-payload-byte UDP flow (deterministic)."""
+    counter = [0]
+
+    def send():
+        src.ip_send(udp_packet(src.address, dst.address, 5000, 7000,
+                               bytes([counter[0] % 256])))
+        counter[0] += 1
+        net.sim.schedule(tick, send)
+
+    net.sim.schedule(0.0, send)
+    return counter
+
+
+def manager_for(net, routers, **overrides):
+    defaults = dict(canary_fraction=0.25, health_window=0.5,
+                    error_budget=3, budget_window=0.5, cooldown=0.3,
+                    probation_packets=10, rollback_after_trips=2)
+    defaults.update(overrides)
+    manager = LifecycleManager(net, deployment=Deployment(),
+                               policy=LifecyclePolicy(**defaults))
+    manager.manage(*routers)
+    return manager
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker (pure mechanism)
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, budget=3, window=1.0, probation=5):
+        now = [0.0]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=probation,
+                                 clock=lambda: now[0])
+        return breaker, now
+
+    def test_trips_above_budget_within_window(self):
+        breaker, now = self.make(budget=3, window=1.0)
+        for i in range(3):
+            now[0] = i * 0.1
+            assert breaker.record_error() is False
+        now[0] = 0.35
+        assert breaker.record_error() is True
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_old_errors_expire(self):
+        breaker, now = self.make(budget=3, window=1.0)
+        for i in range(3):
+            now[0] = i * 0.1
+            breaker.record_error()
+        # The next error comes after the first three have aged out.
+        now[0] = 2.0
+        assert breaker.record_error() is False
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_absorbs_inflight_errors(self):
+        breaker, now = self.make(budget=0)
+        assert breaker.record_error() is True
+        assert breaker.record_error() is False  # already open
+        assert breaker.trips == 1
+
+    def test_half_open_error_retrips(self):
+        breaker, now = self.make(budget=3)
+        breaker._trip(0.0)
+        breaker.half_open()
+        assert breaker.record_error() is True
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_half_open_probation_closes(self):
+        breaker, now = self.make(budget=3, probation=4)
+        breaker._trip(0.0)
+        breaker.half_open()
+        assert [breaker.record_ok() for _ in range(4)] == \
+            [False, False, False, True]
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(budget=-1, window=1.0, probation=1,
+                           clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(budget=1, window=0.0, probation=1,
+                           clock=lambda: 0.0)
+
+
+class TestBreakerWindowProperties:
+    """The satellite property tests: the sliding window is exact."""
+
+    @given(budget=st.integers(min_value=1, max_value=8),
+           window=st.floats(min_value=0.1, max_value=10.0),
+           bursts=st.lists(st.integers(min_value=0, max_value=8),
+                           min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_bursts_below_budget_never_trip(self, budget, window,
+                                            bursts):
+        """Bursts of ≤ budget errors, separated by more than a full
+        window, never trip the breaker."""
+        now = [0.0]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=1, clock=lambda: now[0])
+        t = 0.0
+        for burst in bursts:
+            for _ in range(min(burst, budget)):
+                now[0] = t
+                assert breaker.record_error() is False
+            t += window * 1.5  # strictly outside any shared window
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.trips == 0
+
+    @given(budget=st.integers(min_value=0, max_value=8),
+           window=st.floats(min_value=0.1, max_value=10.0),
+           over=st.integers(min_value=1, max_value=5),
+           spread=st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_sustained_burst_above_budget_trips_within_window(
+            self, budget, window, over, spread):
+        """budget + over errors inside one window always trip, at or
+        before the (budget+1)-th error — i.e. within one window of the
+        first error."""
+        now = [0.0]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=1, clock=lambda: now[0])
+        n = budget + over
+        step = (window * spread) / max(n - 1, 1)
+        tripped_at = None
+        for i in range(n):
+            now[0] = i * step
+            if breaker.record_error():
+                tripped_at = i
+                break
+        assert tripped_at == budget  # the first over-budget error
+        assert breaker.state is BreakerState.OPEN
+        assert now[0] <= window  # within one window of the first error
+
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=50.0),
+                          min_size=1, max_size=40),
+           budget=st.integers(min_value=0, max_value=6),
+           window=st.floats(min_value=0.25, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_trip_point_matches_brute_force(self, times, budget,
+                                            window):
+        """The breaker trips at exactly the first error whose trailing
+        (t - window, t] interval holds more than budget errors."""
+        times = sorted(times)
+        now = [0.0]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=1, clock=lambda: now[0])
+        expected = None
+        for i, t in enumerate(times):
+            in_window = sum(1 for u in times[:i + 1]
+                            if t - window < u <= t)
+            if in_window > budget:
+                expected = i
+                break
+        actual = None
+        for i, t in enumerate(times):
+            now[0] = t
+            if breaker.record_error():
+                actual = i
+                break
+        assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# install history
+# ---------------------------------------------------------------------------
+
+
+class TestHistory:
+    def test_generations_are_numbered(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True, source_name="v1")
+        manager.rollout(GOOD_V2, routers, force=True, source_name="v2")
+        for r in routers:
+            nl = manager.of(r)
+            assert [g.number for g in nl.generations] == [1, 2]
+            assert nl.current.sha == ProgramCache.digest(GOOD_V2)
+
+    def test_superseded_generation_keeps_snapshot(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.5)
+        processed = routers[0].planp.stats.packets_processed
+        assert processed > 0
+        manager.rollout(GOOD_V2, routers, force=True)
+        nl = manager.of(routers[0])
+        snap = nl.generations[0].snapshot
+        assert snap is not None
+        assert snap.protocol_state == processed  # ps counted packets
+
+    def test_manage_adopts_preinstalled_program(self):
+        net, src, routers, dst = chain_net(1)
+        deployment = Deployment()
+        deployment.install(GOOD, [routers[0]])
+        manager = LifecycleManager(net, deployment=deployment)
+        (nl,) = manager.manage(routers[0])
+        assert nl.current is not None
+        assert nl.current.sha == ProgramCache.digest(GOOD)
+
+    def test_verification_failure_reaches_no_node(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        with pytest.raises(VerificationError):
+            manager.rollout(UNSAFE, routers)
+        assert all(manager.of(r).current is None for r in routers)
+        assert all(r.planp.loaded is None for r in routers)
+
+
+# ---------------------------------------------------------------------------
+# staged rollout
+# ---------------------------------------------------------------------------
+
+
+class TestRollout:
+    def test_healthy_canary_promotes(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        traffic(net, src, dst)
+        rollout = manager.rollout(GOOD, routers, source_name="good")
+        assert rollout.state is RolloutState.CANARY
+        assert rollout.canary == ["r0"]
+        assert routers[0].planp.loaded is not None
+        assert routers[1].planp.loaded is None
+        net.run(until=2.0)
+        assert rollout.state is RolloutState.PROMOTED
+        assert all(r.planp.loaded is not None for r in routers)
+
+    def test_bad_canary_aborts_and_rolls_back(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.5)
+        rollout = manager.rollout(BAD, routers, verify=False,
+                                  source_name="bad")
+        net.run(until=3.0)
+        assert rollout.state is RolloutState.ABORTED
+        assert rollout.reason
+        good_sha = ProgramCache.digest(GOOD)
+        # Canary back on generation 1; the rest never saw the bad one.
+        for r in routers:
+            nl = manager.of(r)
+            assert nl.current.sha == good_sha
+            assert not nl.quarantined
+        assert manager.aborted == 1
+
+    def test_silent_canary_aborts_after_extensions(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        # No traffic at all: the gate must extend, then refuse to
+        # promote a program nothing has exercised.
+        rollout = manager.rollout(GOOD, routers)
+        net.run(until=5.0)
+        assert rollout.state is RolloutState.ABORTED
+        assert "packets" in rollout.reason
+        assert rollout.extensions == manager.policy.max_extensions
+
+    def test_explicit_canary_selection(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        traffic(net, src, dst)
+        rollout = manager.rollout(GOOD, routers, canary=[routers[2]])
+        assert rollout.canary == ["r2"]
+        assert routers[2].planp.loaded is not None
+        assert routers[0].planp.loaded is None
+
+
+# ---------------------------------------------------------------------------
+# breaker orchestration: quarantine, half-open, rollback
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_trip_quarantines_and_reverts_to_standard_ip(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers, rollback_after_trips=99)
+        manager.rollout(BAD, routers, verify=False, force=True)
+        delivered = []
+        dst.delivery_taps.append(lambda p: delivered.append(p))
+        traffic(net, src, dst)
+        net.run(until=0.4)
+        assert manager.trips >= 1
+        assert manager.quarantined_nodes()
+        # Quarantined nodes keep forwarding as plain IP routers.
+        before = len(delivered)
+        net.run(until=0.5)
+        assert len(delivered) > before
+
+    def test_half_open_retrial_recovers_when_errors_stop(self):
+        net, src, routers, dst = chain_net(1)
+        manager = manager_for(net, routers, error_budget=2,
+                              probation_packets=5,
+                              rollback_after_trips=99)
+        manager.rollout(BAD, routers, verify=False, force=True)
+        nl = manager.of(routers[0])
+        counter = traffic(net, src, dst)
+        net.run(until=0.4)
+        assert nl.quarantined
+        # Stop the poisonous payload bytes: from here on, every first
+        # byte is 1 (1 mod 5 != 0 — the bad ASP no longer errors).
+        counter[0] = 1
+
+        def clamp():
+            counter[0] = 1
+            net.sim.schedule(0.01, clamp)
+
+        net.sim.schedule(0.0, clamp)
+        net.run(until=2.0)
+        assert manager.half_opens >= 1
+        assert manager.closes >= 1
+        assert not nl.quarantined
+        assert nl.breaker.state is BreakerState.CLOSED
+        assert routers[0].planp.loaded is not None
+
+    def test_repeated_trips_trigger_fleet_rollback(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.5)
+        manager.rollout(BAD, routers, verify=False, force=True)
+        net.run(until=6.0)
+        assert manager.rollbacks >= 1
+        good_sha = ProgramCache.digest(GOOD)
+        for r in routers:
+            nl = manager.of(r)
+            assert nl.current.sha == good_sha
+            assert not nl.quarantined
+            assert nl.rolled_back  # the bad generation is audited
+        assert not manager.quarantined_nodes()
+
+    def test_rollback_without_previous_generation_leaves_plain_ip(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        # The bad ASP is generation 1 — there is nothing to roll back
+        # to, so rollback must land the nodes on standard processing.
+        manager.rollout(BAD, routers, verify=False, force=True)
+        traffic(net, src, dst)
+        net.run(until=6.0)
+        assert not manager.quarantined_nodes()
+        for r in routers:
+            assert manager.of(r).current is None
+            assert r.planp.loaded is None
+            assert not r.planp.quarantined
+
+    def test_operator_rollback(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        manager.rollout(GOOD_V2, routers, force=True)
+        rolled = manager.rollback(reason="operator")
+        assert sorted(rolled) == ["r0", "r1"]
+        good_sha = ProgramCache.digest(GOOD)
+        assert all(manager.of(r).current.sha == good_sha
+                   for r in routers)
+
+    def test_rollback_restores_snapshot_state(self):
+        net, src, routers, dst = chain_net(1)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.5)
+        layer = routers[0].planp
+        processed = layer.protocol_state
+        assert processed > 0
+        manager.rollout(GOOD_V2, routers, force=True)
+        manager.rollback(reason="test")
+        # Generation 1 resumes exactly where it left off.
+        assert layer.protocol_state == processed
+        assert layer.loaded.source_sha == ProgramCache.digest(GOOD)
+
+
+# ---------------------------------------------------------------------------
+# reinstall-after-quarantine hygiene (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+class TestCleanReinstall:
+    def test_uninstall_clears_all_program_state(self):
+        net, src, routers, dst = chain_net(1)
+        deployment = Deployment()
+        deployment.install(GOOD, [routers[0]])
+        traffic(net, src, dst)
+        net.run(until=0.3)
+        layer = routers[0].planp
+        assert layer.channel_states and layer.protocol_state
+        layer.uninstall()
+        assert layer.channel_states == {}
+        assert layer.protocol_state is None
+        assert layer.loaded is None
+
+    def test_reinstall_after_quarantine_starts_clean(self):
+        net, src, routers, dst = chain_net(1)
+        manager = manager_for(net, routers, rollback_after_trips=99,
+                              cooldown=60.0)  # stay quarantined
+        manager.rollout(BAD, routers, verify=False, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.4)
+        layer = routers[0].planp
+        assert manager.of(routers[0]).quarantined
+        assert layer.channel_states == {}  # quarantine dropped state
+        assert layer.protocol_state is None
+        # A fresh install starts from the program's own initial state —
+        # nothing leaks from the quarantined incarnation.
+        manager.rollout(GOOD, routers, force=True)
+        assert layer.protocol_state == 0
+        assert not layer.quarantined
+        assert len(layer.channel_states) == 1
+        layer.uninstall()
+        manager.rollout(GOOD_V2, routers, force=True)
+        # Exactly the new program's one channel — no stale entries.
+        assert len(layer.channel_states) == 1
+        assert layer.protocol_state == 0
+
+    def test_quarantined_layer_ignores_traffic(self):
+        net, src, routers, dst = chain_net(1)
+        manager = manager_for(net, routers, rollback_after_trips=99,
+                              cooldown=60.0)
+        manager.rollout(BAD, routers, verify=False, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.4)
+        layer = routers[0].planp
+        assert manager.of(routers[0]).quarantined
+        processed = layer.stats.packets_processed
+        net.run(until=0.8)
+        # Quarantine gate: no further ASP processing happens.
+        assert layer.stats.packets_processed == processed
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_lifecycle_metrics_in_snapshot(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        snap = net.metrics_snapshot(include_global=False)
+        assert snap["lifecycle.managed_nodes"] == 2
+        assert snap["lifecycle.promoted"] == 1
+        assert snap["lifecycle.quarantined_nodes"] == 0
+
+    def test_event_kinds_emitted(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        traffic(net, src, dst)
+        net.run(until=0.5)
+        manager.rollout(BAD, routers, verify=False, force=True)
+        net.run(until=6.0)
+        kinds = {e.kind for e in net.obs.events.filter()}
+        assert {"rollout", "quarantine", "rollback"} <= kinds
+        actions = {(e.kind, e.data.get("action"))
+                   for e in net.obs.events.filter()}
+        assert ("rollout", "force-promote") in actions
+        assert ("quarantine", "trip") in actions
+        assert ("rollback", "done") in actions

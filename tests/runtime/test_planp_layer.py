@@ -203,3 +203,90 @@ class TestDeployment:
         deployment.install(FORWARD, [r])
         deployment.uninstall([r])
         assert r.planp.loaded is None
+
+
+class TestDecodeContainment:
+    """Satellite regression: a malformed packet must never take the
+    node down — decoding runs inside the containment try, the failure
+    is counted as a runtime error with a ``decode`` reason, and the
+    packet falls back to standard IP processing."""
+
+    CHAR_VIEW = ("channel network(ps : int, ss : unit, "
+                 "p : ip*tcp*char*blob) is "
+                 "(OnRemote(network, p); (ps + 1, ss))")
+
+    def test_truncated_payload_is_contained(self):
+        net, a, r, b, layer = router_between()
+        layer.install(self.CHAR_VIEW)
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        packet = tcp_packet(a.address, b.address, 1, 80, b"Q")
+        # The packet is classified against its intact payload, then
+        # corrupted in flight: by execution time the char view's byte
+        # is gone.  Before the fix this IndexError escaped the layer
+        # and crashed the node.
+        assert layer.wants(packet, None)
+        packet.payload = b""
+        layer.process(packet, None)
+        net.sim.run_until_idle()
+        assert layer.stats.runtime_errors == 1
+        assert layer.stats.packets_processed == 1
+        assert len(got) == 1  # survived via standard forwarding
+        assert r.up
+
+    def test_decode_failure_reason_in_error_event(self):
+        net, a, r, b, layer = router_between()
+        layer.install(self.CHAR_VIEW)
+        packet = tcp_packet(a.address, b.address, 1, 80, b"Q")
+        assert layer.wants(packet, None)
+        packet.payload = b""
+        layer.process(packet, None)
+        net.sim.run_until_idle()
+        errors = [e for e in net.obs.events.filter(kind="error")]
+        assert len(errors) == 1
+        assert errors[0].data["reason"] == "decode"
+        assert errors[0].node == "r"
+
+    def test_codec_error_from_engine_is_contained(self):
+        # A CodecError raised during channel execution (an unverified
+        # program emitting an unencodable value) is not a PlanPError;
+        # before the fix it escaped the runtime-error containment.
+        from repro.runtime import codec
+
+        class Exploding:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def initial_channel_state(self, decl, ctx):
+                return self.inner.initial_channel_state(decl, ctx)
+
+            def run_channel(self, *args):
+                raise codec.CodecError("cannot encode table into payload")
+
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD)
+        layer.engine = Exploding(layer.engine)
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run()
+        assert layer.stats.runtime_errors == 1
+        assert len(got) == 1
+        errors = [e for e in net.obs.events.filter(kind="error")]
+        assert errors and errors[0].data["reason"] == "runtime"
+
+    def test_stale_deferred_classification_is_not_an_error(self):
+        # With a CPU model, process() defers execution; if the program
+        # is uninstalled in between, the stale packet gets standard
+        # treatment and is NOT counted as a runtime error.
+        net, a, r, b, layer = router_between()
+        layer.install(FORWARD)
+        layer.cpu.per_item_s = 0.5
+        got = []
+        b.delivery_taps.append(lambda p: got.append(p))
+        a.ip_send(tcp_packet(a.address, b.address, 1, 80, b"x"))
+        net.run(until=0.1)  # classified + queued behind the CPU
+        layer.uninstall()
+        net.run()
+        assert layer.stats.runtime_errors == 0
+        assert len(got) == 1
