@@ -1,16 +1,19 @@
 """Harness benchmark: parallel sweeps are faster and byte-identical.
 
 Runs the full standard matrix twice — serially, then fanned out over
-4 worker processes — and asserts:
+worker processes — and asserts:
 
 1. every result record is byte-identical between the two runs (the
    determinism contract the cache and the report depend on);
 2. the parallel sweep is at least 3x faster wall-clock — asserted only
-   on machines with >= 4 CPUs (a process pool cannot beat a serial
-   loop on one core; the measured ratio is recorded regardless);
+   when the requested worker count actually fit the machine (spawning
+   4 workers on a 1-CPU box measures scheduler overhead, not speedup,
+   so the pool is clamped to ``os.cpu_count()`` and the assertion is
+   skipped when the clamp bit);
 3. a re-run against the populated store is pure cache hits.
 
-Results land in ``BENCH_harness.json`` at the repo root.
+Results land in ``BENCH_harness.json`` at the repo root, recording both
+the requested and the effective (clamped) worker counts.
 """
 
 import json
@@ -27,6 +30,14 @@ RESULTS_FILE = Path(__file__).parent.parent / "BENCH_harness.json"
 PARALLEL_WORKERS = 4
 
 
+def effective_workers() -> int:
+    """Requested pool size clamped to the CPUs actually present: a
+    process pool wider than the machine only adds context-switch noise
+    (the old unclamped run recorded a meaningless 0.95x "speedup" on a
+    1-CPU container)."""
+    return max(1, min(PARALLEL_WORKERS, os.cpu_count() or 1))
+
+
 def canonical(record: dict) -> bytes:
     return json.dumps(record, sort_keys=True,
                       separators=(",", ":")).encode()
@@ -36,11 +47,12 @@ class TestParallelSweep:
     @pytest.fixture(scope="class")
     def sweeps(self, tmp_path_factory):
         scenarios = standard_matrix()
+        workers = effective_workers()
         serial_store = ResultStore(tmp_path_factory.mktemp("serial"))
         serial = Runner(serial_store, workers=1,
                         use_cache=False).sweep(scenarios)
         parallel_store = ResultStore(tmp_path_factory.mktemp("par"))
-        parallel = Runner(parallel_store, workers=PARALLEL_WORKERS,
+        parallel = Runner(parallel_store, workers=workers,
                           use_cache=False).sweep(scenarios)
         resumed = Runner(serial_store, workers=1).sweep(scenarios)
 
@@ -50,7 +62,7 @@ class TestParallelSweep:
             ["run", "scenarios", "wall s"],
             [["serial (1 worker)", len(serial.lines),
               f"{serial.wall_s:.1f}"],
-             [f"parallel ({PARALLEL_WORKERS} workers)",
+             [f"parallel ({workers} of {PARALLEL_WORKERS} requested)",
               len(parallel.lines), f"{parallel.wall_s:.1f}"],
              ["re-run (cache)", len(resumed.lines),
               f"{resumed.wall_s:.2f}"],
@@ -59,7 +71,9 @@ class TestParallelSweep:
 
         doc = {"parallel_sweep": {
             "cpu_count": os.cpu_count(),
-            "workers": PARALLEL_WORKERS,
+            "workers_requested": PARALLEL_WORKERS,
+            "workers_effective": workers,
+            "clamped": workers < PARALLEL_WORKERS,
             "n_scenarios": len(serial.lines),
             "serial_wall_s": round(serial.wall_s, 2),
             "parallel_wall_s": round(parallel.wall_s, 2),
@@ -76,6 +90,8 @@ class TestParallelSweep:
         return serial, parallel, resumed
 
     def test_records_byte_identical(self, benchmark, sweeps):
+        # Asserted unconditionally: determinism must hold at any
+        # worker count, clamped or not.
         shape_check(benchmark)
         serial, parallel, _ = sweeps
         serial_records = serial.records_by_name()
@@ -87,14 +103,15 @@ class TestParallelSweep:
 
     def test_parallel_speedup(self, benchmark, sweeps):
         shape_check(benchmark)
+        workers = effective_workers()
+        if workers < PARALLEL_WORKERS:
+            pytest.skip(
+                f"clamped to {workers} worker(s) on "
+                f"{os.cpu_count()} CPU(s); speedup not meaningful")
         serial, parallel, _ = sweeps
         speedup = serial.wall_s / parallel.wall_s
-        if (os.cpu_count() or 1) >= 4:
-            assert speedup >= 3.0, \
-                f"only {speedup:.2f}x at {PARALLEL_WORKERS} workers"
-        else:
-            print(f"(speedup {speedup:.2f}x recorded, not asserted: "
-                  f"only {os.cpu_count()} CPUs)")
+        assert speedup >= 3.0, \
+            f"only {speedup:.2f}x at {workers} workers"
 
     def test_rerun_is_pure_cache(self, benchmark, sweeps):
         shape_check(benchmark)

@@ -54,14 +54,27 @@ def _is_wall_clock(key: str) -> bool:
     return stat in _TIMER_STATS and prefix.endswith("_ms")
 
 
+def _is_batch_telemetry(key: str) -> bool:
+    """True for tier-3 batching counters: how packets *grouped* into
+    batches is an execution-strategy detail (it depends on the
+    batch-size flag, not on what the experiment computed), so these
+    keys stay out of the canonical record — that is what keeps records
+    byte-identical with batching on vs off."""
+    return (key.endswith(".fastpath_batches")
+            or key.endswith(".batched_packets")
+            or ".batch_size" in key)
+
+
 def deterministic_metrics(metrics: dict[str, Any]) -> dict[str, Any]:
     """The subset of a ``metrics_snapshot()`` that is a pure function
     of (code, params, seed): drops the process-wide ``global.`` scope
-    (it accumulates across runs sharing a process) and the wall-clock
-    values of ``*_ms`` timer histograms (their ``.count`` stays)."""
+    (it accumulates across runs sharing a process), the wall-clock
+    values of ``*_ms`` timer histograms (their ``.count`` stays), and
+    the tier-3 batch-grouping telemetry."""
     return {key: value for key, value in sorted(metrics.items())
             if not key.startswith("global.")
-            and not _is_wall_clock(key)}
+            and not _is_wall_clock(key)
+            and not _is_batch_telemetry(key)}
 
 
 def jsonify(value: Any) -> Any:

@@ -36,7 +36,7 @@ from ..lang.typechecker import ProgramInfo, typecheck
 from ..interp.context import ExecutionContext, RecordingContext
 from ..interp.interpreter import Interpreter
 from ..obs import GLOBAL
-from .codegen import CompiledSourceEngine, SourceArtifact, \
+from .codegen import CODEGEN_REV, CompiledSourceEngine, SourceArtifact, \
     generate_source_artifact
 from .specializer import ClosureEngine
 
@@ -209,7 +209,9 @@ class ProgramCache:
             build = lambda: ClosureEngine(info, RecordingContext())  # noqa: E731
         else:
             return None
-        akey = (key, backend)
+        # CODEGEN_REV keys out artifacts emitted by an older generator
+        # (e.g. ones without the tier-3 batch entry points).
+        akey = (key, backend, CODEGEN_REV)
         artifact = self._artifacts.get(akey)
         if artifact is not None:
             self.stats.engine_hits += 1
@@ -253,6 +255,10 @@ class LoadedProgram:
     source: str = ""
     #: did this load run the four safety analyses?
     verified: bool = True
+    #: does the engine expose the tier-3 ``run_channel_batch`` entry
+    #: point (batched execution with the BatchFault containment
+    #: contract)?
+    batch_capable: bool = False
 
 
 def count_source_lines(source: str) -> int:
@@ -300,4 +306,6 @@ def load_program(source: str, *, backend: str = "closure",
                          source_sha=key,
                          cache_hit=hit,
                          source=source,
-                         verified=verify)
+                         verified=verify,
+                         batch_capable=hasattr(engine,
+                                               "run_channel_batch"))

@@ -140,6 +140,37 @@ class ClosureEngine:
         result = code(frame, ctx)
         return result[0], result[1]  # type: ignore[index]
 
+    def run_channel_batch(self, decl: ast.ChannelDecl,
+                          protocol_state: object, channel_state: object,
+                          batch, ctx: ExecutionContext) -> tuple[object,
+                                                                 object]:
+        """Tier-3 entry point: fold the specialized closure over a whole
+        :class:`~repro.runtime.codec.PacketBatch` in one call.  AST
+        dispatch, frame layout, and decode setup are all hoisted; rows
+        share the batch's lazily-materialized columns.  Per-row failures
+        follow the :class:`~repro.jit.batching.BatchFault` contract."""
+        from .batching import BatchFault
+
+        code, n_slots = self._channel_code[id(decl)]
+        rows = batch.rows()
+        i = 0
+        try:
+            for value in rows:
+                ctx._row = i
+                frame = [None] * n_slots
+                frame[0] = protocol_state
+                frame[1] = channel_state
+                frame[2] = value
+                result = code(frame, ctx)
+                protocol_state = result[0]  # type: ignore[index]
+                channel_state = result[1]  # type: ignore[index]
+                i += 1
+        except BatchFault:
+            raise
+        except Exception as err:
+            raise BatchFault(i, protocol_state, channel_state, err) from err
+        return protocol_state, channel_state
+
     # -- the specializer: one case per interpreter case --------------------------
 
     def _compile(self, expr: ast.Expr, scope: _Scope) -> Compiled:

@@ -25,6 +25,12 @@ if TYPE_CHECKING:
     from ..obs import Observability
     from ..runtime.planp_layer import PlanPLayer
 
+#: Default tier-3 batch-drain limit for routers: up to this many packets
+#: queued by one scheduler activation run through a single specialized
+#: batch loop.  Monkeypatch to 0 to force the per-packet path (the
+#: batching-on/off determinism regression does exactly that).
+ROUTER_BATCH_SIZE = 64
+
 
 class Interface:
     """One attachment point of a node to a medium."""
@@ -79,6 +85,9 @@ class Node:
     """Common behaviour of hosts and routers."""
 
     forwarding = False
+    #: tier-3 batch-drain limit for this node's PLAN-P layer (0 = the
+    #: per-packet path; routers default to :data:`ROUTER_BATCH_SIZE`)
+    batch_size = 0
 
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
@@ -393,3 +402,9 @@ class Router(Node):
     """A forwarding node; ASPs downloaded here adapt traffic in flight."""
 
     forwarding = True
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        # Instance attribute so tests can patch ROUTER_BATCH_SIZE before
+        # building a topology (class-level Node.batch_size stays 0).
+        self.batch_size = ROUTER_BATCH_SIZE

@@ -71,6 +71,39 @@ class Simulator:
         self.events_processed = 0
         self._live = 0
         self._cancelled = 0
+        self._microtasks: list[Callable[[], None]] = []
+        self._in_event = False
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after the *current* event's callback returns, at
+        the same simulated time, before the next event is popped.
+
+        Microtasks are the batch-drain hook: a node can defer work
+        enqueued during one event delivery to the end of that delivery
+        (so several packets from one event coalesce) without scheduling
+        new events — anything they schedule gets its sequence numbers
+        in exactly the same order as inline execution, keeping runs
+        byte-identical.  Outside an event callback ``fn`` runs
+        immediately, so direct (non-simulated) calls stay synchronous.
+        """
+        if self._in_event:
+            self._microtasks.append(fn)
+        else:
+            fn()
+
+    def _dispatch(self, fn: Callable[[], None]) -> None:
+        """Run one event callback, then drain its microtasks (including
+        ones enqueued by other microtasks)."""
+        tasks = self._microtasks
+        self._in_event = True
+        try:
+            fn()
+            while tasks:
+                tasks.pop(0)()
+        finally:
+            self._in_event = False
+            if tasks:
+                del tasks[:]
 
     def schedule(self, delay: float,
                  fn: Callable[[], None]) -> EventHandle:
@@ -152,7 +185,7 @@ class Simulator:
             self._live -= 1
             self.now = event.time
             self.events_processed += 1
-            event.fn()
+            self._dispatch(event.fn)
         if until is not None and self.now < until:
             self.now = until
 
@@ -165,7 +198,7 @@ class Simulator:
                 break
             self.now = event.time
             self.events_processed += 1
-            event.fn()
+            self._dispatch(event.fn)
             processed += 1
             if processed > max_events:
                 raise RuntimeError(

@@ -14,9 +14,23 @@ View layout rules:
   may only appear as the final component;
 * a packet matches a type only if the payload is long enough for all
   fixed views, and any residue is consumed by a trailing blob/string.
+
+Two decoder shapes coexist:
+
+* :func:`make_decoder` — one packet to one value tuple (the per-packet
+  fast path);
+* :func:`make_batch_decoder` — the tier-3 struct-of-arrays decoder: a
+  run of same-type packets decodes into parallel *columns* with one C
+  call per fixed field per batch (``struct.iter_unpack`` over the
+  joined payloads when the stride is uniform), and value conversions
+  (``chr``, :class:`HostAddr`, latin-1) materialize lazily per column,
+  so a specialized batch loop that projects only some header fields
+  never pays for the rest.
 """
 
 from __future__ import annotations
+
+import struct
 
 from ..lang import types as T
 from ..net.addresses import HostAddr
@@ -24,6 +38,10 @@ from ..net.packet import (PROTO_RAW, PROTO_TCP, PROTO_UDP, IpHeader, Packet,
                           TcpHeader, UdpHeader)
 
 _FIXED_SIZES: dict[T.Type, int] = {T.CHAR: 1, T.BOOL: 1, T.INT: 4, T.HOST: 4}
+
+#: struct format characters for the fixed-size views (big-endian)
+_STRUCT_FMT: dict[T.Type, str] = {T.CHAR: "B", T.BOOL: "B", T.INT: "i",
+                                  T.HOST: "I"}
 
 
 class CodecError(Exception):
@@ -83,19 +101,31 @@ class DispatchPlan:
     with all view offsets precomputed.
     """
 
-    __slots__ = ("transport_cls", "fixed", "has_tail", "decode")
+    __slots__ = ("transport_cls", "fixed", "has_tail", "decode",
+                 "packet_type", "_batch_decoder")
 
     def __init__(self, transport_cls: type, fixed: int, has_tail: bool,
-                 decode):
+                 decode, packet_type: T.TupleType | None = None):
         self.transport_cls = transport_cls
         self.fixed = fixed
         self.has_tail = has_tail
         self.decode = decode
+        self.packet_type = packet_type
+        self._batch_decoder = None
 
     def admits(self, payload_len: int) -> bool:
         if self.has_tail:
             return payload_len >= self.fixed
         return payload_len == self.fixed
+
+    def batch_decoder(self) -> "BatchDecoder":
+        """The tier-3 struct-of-arrays decoder for this packet type,
+        compiled on first use (installs stay cheap; only channels that
+        actually see batched traffic pay the codegen)."""
+        bd = self._batch_decoder
+        if bd is None:
+            bd = self._batch_decoder = make_batch_decoder(self.packet_type)
+        return bd
 
 
 def _view_steps(views: list[T.Type]) -> list:
@@ -161,7 +191,157 @@ def dispatch_plan(packet_type: T.TupleType) -> DispatchPlan | None:
     fixed = sum(_FIXED_SIZES.get(v, 0) for v in views)
     has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
     return DispatchPlan(transport_cls, fixed, has_tail,
-                        make_decoder(packet_type))
+                        make_decoder(packet_type), packet_type)
+
+
+class BatchDecoder:
+    """A per-packet-type struct-of-arrays decoder for runs of matching
+    packets.  ``batch(packets)`` wraps a run without touching any bytes;
+    the raw columns decode on first access (one C call per fixed field
+    per batch) and value conversions materialize per column on demand.
+    """
+
+    __slots__ = ("packet_type", "width", "_soa_fn", "_convs")
+
+    def __init__(self, packet_type, width, soa_fn, convs):
+        self.packet_type = packet_type
+        self.width = width
+        self._soa_fn = soa_fn
+        self._convs = convs
+
+    def batch(self, packets: list[Packet]) -> "PacketBatch":
+        return PacketBatch(packets, self)
+
+
+class PacketBatch:
+    """A lazily-decoded run of same-type packets.
+
+    ``soa()`` yields the raw columns (header objects, struct-decoded
+    ints, tail slices); ``column(i)`` the value-converted column for
+    component ``i`` of the packet value; ``rows()`` the full list of
+    packet-value tuples.  Decode errors (a payload corrupted after
+    classification) surface from ``soa()``/``column()``/``rows()``
+    before any row executes, so callers can fall back per packet with
+    no partially-consumed state left behind.
+    """
+
+    __slots__ = ("packets", "decoder", "_raw", "_cols", "_rows")
+
+    def __init__(self, packets: list[Packet], decoder: BatchDecoder):
+        self.packets = packets
+        self.decoder = decoder
+        self._raw = None
+        self._cols: dict[int, list] = {}
+        self._rows = None
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def soa(self) -> tuple:
+        raw = self._raw
+        if raw is None:
+            raw = self._raw = self.decoder._soa_fn(self.packets)
+        return raw
+
+    def column(self, i: int) -> list:
+        col = self._cols.get(i)
+        if col is None:
+            raw = self.soa()[i]
+            conv = self.decoder._convs[i]
+            col = raw if conv is None else [conv(x) for x in raw]
+            self._cols[i] = col
+        return col
+
+    def rows(self) -> list[tuple]:
+        rows = self._rows
+        if rows is None:
+            width = self.decoder.width
+            rows = self._rows = list(
+                zip(*(self.column(i) for i in range(width))))
+        return rows
+
+
+def _latin1(b: bytes) -> str:
+    return b.decode("latin-1")
+
+
+def make_batch_decoder(packet_type: T.TupleType) -> BatchDecoder:
+    """Compile the struct-of-arrays decoder for one packet type.
+
+    The generated ``_soa`` function decodes a run of packets that all
+    matched this type into raw parallel columns:
+
+    * header columns are plain attribute list-comprehensions;
+    * with no tail view, every payload has exactly ``fixed`` bytes
+      (:meth:`DispatchPlan.admits`), so all fixed fields of the whole
+      batch decode in a single ``Struct.iter_unpack`` over the joined
+      payloads — a stride-count guard turns non-compensating payload
+      corruption into a :class:`CodecError` instead of silent row
+      misalignment;
+    * with a tail view, payload lengths vary, so fixed fields use one
+      ``unpack_from`` per packet and the tail is a slice column.
+
+    Value conversions (``chr``, ``bool``, :class:`HostAddr`, latin-1)
+    are *not* applied here — they belong to the lazy
+    :meth:`PacketBatch.column` so untouched fields cost nothing.
+    """
+    transport, views = packet_views(packet_type)
+    fixed_views = [v for v in views if v in _FIXED_SIZES]
+    has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
+    fixed = sum(_FIXED_SIZES[v] for v in fixed_views)
+    width = 1 + (1 if transport is not None else 0) + len(views)
+
+    lines = ["def _soa(_pk):"]
+    empty = ", ".join("[]" for _ in range(width))
+    comma = "," if width == 1 else ""
+    lines.append("    if not _pk:")
+    lines.append(f"        return ({empty}{comma})")
+    cols = ["_ip"]
+    lines.append("    _ip = [_p.ip for _p in _pk]")
+    if transport is not None:
+        lines.append("    _tr = [_p.transport for _p in _pk]")
+        cols.append("_tr")
+    if fixed_views:
+        if has_tail:
+            lines.append("    _ts = [_unpack(_p.payload) for _p in _pk]")
+        else:
+            lines.append('    _ts = list(_iter_unpack(b"".join('
+                         "[_p.payload for _p in _pk])))")
+            lines.append("    if len(_ts) != len(_pk):")
+            lines.append("        raise CodecError("
+                         '"batch payload stride mismatch")')
+        if len(fixed_views) == 1:
+            lines.append("    _f0 = [_t[0] for _t in _ts]")
+        else:
+            lines.append("    _fx = list(zip(*_ts))")
+            for k in range(len(fixed_views)):
+                lines.append(f"    _f{k} = list(_fx[{k}])")
+        cols.extend(f"_f{k}" for k in range(len(fixed_views)))
+    if has_tail:
+        if fixed:
+            lines.append(f"    _tl = [_p.payload[{fixed}:] for _p in _pk]")
+        else:
+            lines.append("    _tl = [_p.payload for _p in _pk]")
+        cols.append("_tl")
+    lines.append(f"    return ({', '.join(cols)}{comma})")
+
+    namespace: dict[str, object] = {"CodecError": CodecError}
+    if fixed_views:
+        fmt = ">" + "".join(_STRUCT_FMT[v] for v in fixed_views)
+        packer = struct.Struct(fmt)
+        namespace["_unpack"] = packer.unpack_from
+        namespace["_iter_unpack"] = packer.iter_unpack
+    exec(compile("\n".join(lines), "<batch-decoder>", "exec"), namespace)
+
+    conv_of = {T.CHAR: chr, T.BOOL: bool, T.INT: None, T.HOST: HostAddr,
+               T.BLOB: None, T.STRING: _latin1}
+    convs: list = [None]
+    if transport is not None:
+        convs.append(None)
+    convs.extend(conv_of[v] for v in fixed_views)
+    if has_tail:
+        convs.append(conv_of[views[-1]])
+    return BatchDecoder(packet_type, width, namespace["_soa"], convs)
 
 
 def decode(packet: Packet, packet_type: T.TupleType) -> tuple:

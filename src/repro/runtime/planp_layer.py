@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..interp.values import default_value
+from ..jit.batching import BatchFault, run_rows
 from ..jit.pipeline import Engine, LoadedProgram, load_program
 from ..lang import ast
 from ..lang import types as T
@@ -67,6 +68,11 @@ class PlanPStats:
     fastpath_dispatches: int = 0
     #: dispatch decisions that fell back to the structural matcher
     structural_dispatches: int = 0
+    #: tier-3 batch executions (same-entry runs of two or more packets
+    #: folded through one specialized loop)
+    fastpath_batches: int = 0
+    #: packets that went through those batch executions
+    batched_packets: int = 0
 
 
 @dataclass
@@ -91,11 +97,15 @@ _NO_STATE = object()
 class _DispatchEntry:
     """One channel overload in the fast-path match table."""
 
-    __slots__ = ("decl", "plan")
+    __slots__ = ("decl", "plan", "hit")
 
     def __init__(self, decl: ast.ChannelDecl, plan: codec.DispatchPlan):
         self.decl = decl
         self.plan = plan
+        #: the classification result handed out for every packet this
+        #: entry admits — one stable tuple, so the batch drain can group
+        #: same-entry runs by identity with no per-packet allocation
+        self.hit = (decl, plan.decode, plan)
 
 
 class PlanPLayer:
@@ -132,6 +142,24 @@ class PlanPLayer:
         #: the match computed by wants(), carried into process() so a
         #: packet is classified exactly once: (packet uid, hit | None)
         self._carry: tuple[int, tuple | None] | None = None
+        #: tier-3 batch drain: up to this many packets queued during one
+        #: scheduler activation run through a single specialized batch
+        #: loop (0 disables; routers default it on via Node.batch_size)
+        self.batch_size = int(getattr(node, "batch_size", 0) or 0)
+        #: packets enqueued during the current event, drained at its end
+        self._pending: list[tuple[Packet, Interface | None, tuple]] = []
+        self._drain_scheduled = False
+        #: the chunk being batch-executed (for per-row passthrough
+        #: exclusion) and the row offset of the current sub-batch
+        self._batch_chunk: list | None = None
+        self._batch_base = 0
+        #: row index the engine is currently executing (engines assign
+        #: ``ctx._row`` before each row) and the last row that emitted
+        #: or delivered — together they reproduce the serial path's
+        #: "did the failed invocation already emit?" check per row
+        self._row = -1
+        self._last_emit_row = -1
+        self._batch_hist: Histogram | None = None
         #: opt-in per-packet processing-time histogram (ms); ``None``
         #: keeps the hot path at a single truthiness check
         self.profile: Histogram | None = None
@@ -300,17 +328,21 @@ class PlanPLayer:
         return None
 
     def _lookup(self, packet: Packet) -> tuple | None:
-        """Classify a packet once: ``(decl, decoder | None)`` or None.
+        """Classify a packet once: ``(decl, decoder | None, plan | None)``
+        or None.
 
         The fast path answers from the precomputed table; the structural
         matcher only runs when no table exists (a program installed by
-        poking internals rather than :meth:`install_loaded`).
+        poking internals rather than :meth:`install_loaded`).  Fast-path
+        hits are the entry's one stable tuple, so consecutive packets
+        admitted by the same overload compare identical by identity —
+        structural hits are fresh tuples and therefore never batch.
         """
         table = self._dispatch
         if table is None:
             self.stats.structural_dispatches += 1
             decl = self._match(packet)
-            return None if decl is None else (decl, None)
+            return None if decl is None else (decl, None, None)
         entries = table.get((packet.channel, packet.transport.__class__))
         if not entries:
             return None
@@ -318,7 +350,7 @@ class PlanPLayer:
         payload_len = len(packet.payload)
         for entry in entries:
             if entry.plan.admits(payload_len):
-                return entry.decl, entry.plan.decode
+                return entry.hit
         return None
 
     def wants(self, packet: Packet, iface: Interface | None) -> bool:
@@ -343,15 +375,210 @@ class PlanPLayer:
             hit = self._lookup(packet)
         if self.cpu.per_item_s > 0:
             self.cpu.submit(lambda: self._process_now(packet, iface, hit))
-        else:
-            self._process_now(packet, iface, hit)
+            return
+        if (self.batch_size > 1 and hit is not None and hit[2] is not None
+                and self.profile is None):
+            # Tier 3: defer to the end of the current event, so several
+            # packets delivered by one scheduler activation coalesce
+            # into same-entry runs.  Profiling stays per-packet.
+            self._pending.append((packet, iface, hit))
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.node.sim.call_soon(self._drain_batch)
+            return
+        self._process_now(packet, iface, hit)
+
+    # -- tier 3: batched execution -------------------------------------------------
+
+    def _drain_batch(self) -> None:
+        """Run everything enqueued during the event that just finished:
+        maximal same-entry runs (capped at ``batch_size``) go through
+        the engine's batch loop, singletons through the per-packet path.
+        Packet order — and therefore every emission's scheduling order —
+        is exactly the enqueue order."""
+        self._drain_scheduled = False
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        limit = self.batch_size
+        n = len(pending)
+        i = 0
+        while i < n:
+            hit = pending[i][2]
+            end = i + limit
+            if end > n:
+                end = n
+            j = i + 1
+            while j < end and pending[j][2] is hit:
+                j += 1
+            if j - i == 1:
+                packet, iface, hit = pending[i]
+                self._process_now(packet, iface, hit)
+            else:
+                self._run_batch(pending[i:j])
+            i = j
+
+    def classify_batches(self, packets: list[Packet],
+                         batch_size: int = 64) -> list:
+        """The standalone tier-3 front door for a pre-queued stream:
+        split it into maximal same-entry runs of at most ``batch_size``
+        and wrap each in its lazily-decoded struct-of-arrays
+        :class:`~repro.runtime.codec.PacketBatch` — one classification
+        and one decoder setup per run instead of per packet.
+
+        A run only extends over packets with the same transport class,
+        channel tag, *and payload length* as its head: equal length
+        guarantees every overload's ``admits`` answers identically, so
+        the head's match-table entry is provably the entry each
+        follower would get.
+        """
+        out: list[tuple[ast.ChannelDecl, codec.PacketBatch]] = []
+        lookup = self._lookup
+        n = len(packets)
+        i = 0
+        while i < n:
+            p = packets[i]
+            hit = lookup(p)
+            if hit is None or hit[2] is None:
+                i += 1
+                continue
+            decl, _decoder, plan = hit
+            tcls = p.transport.__class__
+            chan = p.channel
+            plen = len(p.payload)
+            end = i + batch_size
+            if end > n:
+                end = n
+            j = i + 1
+            while j < end:
+                q = packets[j]
+                if (q.transport.__class__ is not tcls
+                        or q.channel != chan
+                        or len(q.payload) != plen):
+                    break
+                j += 1
+            out.append((decl, plan.batch_decoder().batch(packets[i:j])))
+            i = j
+        return out
+
+    def _batch_histogram(self) -> Histogram | None:
+        hist = self._batch_hist
+        if hist is None:
+            obs = self.node.obs
+            if obs is None:
+                return None
+            hist = self._batch_hist = obs.metrics.histogram(
+                f"node.{self.node.name}.planp.batch_size")
+        return hist
+
+    def _run_batch(self, chunk: list) -> None:
+        """Execute one same-entry run (two or more packets) through the
+        engine's batch entry point, preserving the serial path's
+        observable behaviour packet for packet:
+
+        * a row that raises a contained error is accounted exactly like
+          the serial path (state committed up to it, ``_contain``, and
+          standard-IP fallback unless that row already emitted), and the
+          remaining rows resume in a fresh sub-batch — no stale
+          struct-of-arrays state survives a fault;
+        * a decode/setup failure reaches here with *zero* rows executed
+          (the :class:`BatchFault` contract), so the whole run replays
+          through the per-packet path, which locates and contains the
+          malformed packet(s);
+        * any other exception commits the completed rows and propagates,
+          as it would have from the serial path.
+        """
+        decl, _decoder, plan = chunk[0][2]
+        engine = self.engine
+        state = self.channel_states.get(id(decl), _NO_STATE)
+        if engine is None or state is _NO_STATE:
+            # Stale classification (program removed or replaced between
+            # wants() and the drain): standard treatment, like the
+            # per-packet stale path.
+            for packet, iface, _hit in chunk:
+                self.node.standard_processing(packet, iface)
+            return
+        self.stats.fastpath_batches += 1
+        self.stats.batched_packets += len(chunk)
+        hist = self._batch_histogram()
+        if hist is not None:
+            hist.observe(len(chunk))
+        run = getattr(engine, "run_channel_batch", None)
+        packets = [c[0] for c in chunk]
+        lifecycle = self.lifecycle
+        chunk_len = len(chunk)
+        start = 0
+        while start < chunk_len:
+            batch = plan.batch_decoder().batch(
+                packets[start:] if start else packets)
+            self._batch_chunk = chunk
+            self._batch_base = start
+            self._last_emit_row = -1
+            self._row = -1
+            try:
+                if run is not None:
+                    ps, ss = run(decl, self.protocol_state, state, batch,
+                                 self)
+                else:
+                    ps, ss = run_rows(engine.run_channel, decl,
+                                      self.protocol_state, state, batch,
+                                      self)
+            except BatchFault as fault:
+                # Rows before the fault committed; replay their
+                # accounting, then contain the faulted row.
+                self.stats.packets_processed += fault.index
+                self.protocol_state = fault.ps
+                self.channel_states[id(decl)] = fault.ss
+                state = fault.ss
+                if lifecycle is not None:
+                    for _ in range(fault.index):
+                        lifecycle.on_packet_ok()
+                err = fault.err
+                if not isinstance(err, (PlanPError, codec.CodecError)):
+                    raise err
+                self.stats.packets_processed += 1
+                self._contain(decl, err, reason="runtime")
+                fi = start + fault.index
+                packet_f, iface_f, _hit = chunk[fi]
+                if self._last_emit_row != fault.index:
+                    self.node.standard_processing(packet_f, iface_f)
+                start = fi + 1
+                if self.quarantined and start < chunk_len:
+                    # Serial execution re-classifies each packet, so the
+                    # ones behind a breaker trip would have failed
+                    # wants(); mirror that — including the node-level
+                    # asp_handled accounting done at enqueue time.
+                    for packet_r, iface_r, _hit2 in chunk[start:]:
+                        self.node.stats.asp_handled -= 1
+                        self.node.standard_processing(packet_r, iface_r)
+                    return
+            except Exception:
+                # Decode or setup failed before any row ran: replay the
+                # rest packet by packet for serial-identical containment
+                # of the malformed packet(s).
+                for packet_r, iface_r, hit_r in chunk[start:]:
+                    self._process_now(packet_r, iface_r, hit_r)
+                return
+            else:
+                rows = chunk_len - start
+                self.stats.packets_processed += rows
+                self.protocol_state = ps
+                self.channel_states[id(decl)] = ss
+                if lifecycle is not None:
+                    for _ in range(rows):
+                        lifecycle.on_packet_ok()
+                return
+            finally:
+                self._batch_chunk = None
+                self._row = -1
 
     def _process_now(self, packet: Packet, iface: Interface | None,
                      hit: tuple | None) -> None:
         if hit is None:  # pragma: no cover - wants() gates this
             self.node.standard_processing(packet, iface)
             return
-        decl, decoder = hit
+        decl, decoder, _plan = hit
         engine = self.engine
         state = self.channel_states.get(id(decl), _NO_STATE)
         if engine is None or state is _NO_STATE:
@@ -427,6 +654,7 @@ class PlanPLayer:
         packet = codec.encode(packet_value, channel=tag,
                               created_at=self.node.sim.now)
         self.stats.packets_emitted += 1
+        self._last_emit_row = self._row
         self.node.ip_send(packet,
                           exclude_iface=self._passthrough_exclusion(packet),
                           from_planp=True)
@@ -436,15 +664,20 @@ class PlanPLayer:
         observing ASP's ``OnRemote(network, p)``) must not be sent back
         out of the interface it arrived on — the original transmission
         is already on that wire.  Anything new or modified routes
-        normally."""
+        normally.  During a batch execution the arrival packet/interface
+        of the *current row* apply."""
         orig = self._arrival_packet
+        iface = self._arrival_iface
         if orig is None:
-            return None
+            chunk = self._batch_chunk
+            if chunk is None:
+                return None
+            orig, iface, _hit = chunk[self._batch_base + self._row]
         same = (packet.ip.src == orig.ip.src
                 and packet.ip.dst == orig.ip.dst
                 and packet.transport == orig.transport
                 and packet.payload == orig.payload)
-        return self._arrival_iface if same else None
+        return iface if same else None
 
     def emit_neighbor(self, channel: str, packet_value: tuple,
                       neighbor: HostAddr) -> None:
@@ -452,6 +685,7 @@ class PlanPLayer:
         packet = codec.encode(packet_value, channel=tag,
                               created_at=self.node.sim.now)
         self.stats.packets_emitted += 1
+        self._last_emit_row = self._row
         out = self.node.iface_toward(neighbor)
         if out is not None:
             out.send(packet)
@@ -459,6 +693,7 @@ class PlanPLayer:
     def deliver(self, packet_value: tuple) -> None:
         packet = codec.encode(packet_value, created_at=self.node.sim.now)
         self.stats.packets_delivered += 1
+        self._last_emit_row = self._row
         self.node.deliver_local(packet)
 
     def drop(self, packet_value: tuple) -> None:

@@ -1,0 +1,63 @@
+"""Regression: tier-3 batching must not show up in experiment records.
+
+Batch-drain delivery changes *how* routers execute ASP code, never
+*what* the experiments measure: the same scenarios at the same seeds
+must produce byte-identical canonical records with batching on
+(``ROUTER_BATCH_SIZE = 64``) and off (``0`` forces per-packet
+delivery).  Batch-grouping telemetry is execution-strategy detail and
+is excluded from the canonical record (see
+``repro.experiments.result._is_batch_telemetry``).
+"""
+
+import json
+
+import repro.net.node as node_mod
+from repro.harness import Runner, Scenario
+from repro.experiments.result import deterministic_metrics
+
+SCENARIOS = [
+    Scenario("ident/audio", "audio", {"duration": 2.0}, seed=7),
+    Scenario("ident/http", "http",
+             {"mode": "asp", "n_clients": 2, "duration": 3.0,
+              "warmup": 1.0}, seed=3),
+    Scenario("ident/mpeg", "mpeg", {"n_clients": 2, "duration": 3.0},
+             seed=5),
+]
+
+
+def sweep_with_batch_size(batch_size):
+    old = node_mod.ROUTER_BATCH_SIZE
+    node_mod.ROUTER_BATCH_SIZE = batch_size
+    try:
+        return Runner(use_cache=False, workers=1).sweep(SCENARIOS)
+    finally:
+        node_mod.ROUTER_BATCH_SIZE = old
+
+
+class TestBatchingByteIdentity:
+    def test_records_byte_identical_on_vs_off(self):
+        on = sweep_with_batch_size(64).records_by_name()
+        off = sweep_with_batch_size(0).records_by_name()
+        assert set(on) == set(off) == {s.name for s in SCENARIOS}
+        for name in on:
+            a = json.dumps(on[name], sort_keys=True,
+                           separators=(",", ":")).encode()
+            b = json.dumps(off[name], sort_keys=True,
+                           separators=(",", ":")).encode()
+            assert a == b, name
+
+
+class TestBatchTelemetryFilter:
+    def test_batch_counters_stripped_from_record(self):
+        metrics = {
+            "node.r.planp.fastpath_batches": 3,
+            "node.r.planp.batched_packets": 170,
+            "node.r.planp.batch_size.count": 3,
+            "node.r.planp.batch_size.max": 64,
+            "node.r.planp.packets_processed": 170,
+            "node.b.delivered": 170,
+        }
+        kept = deterministic_metrics(metrics)
+        assert "node.r.planp.packets_processed" in kept
+        assert "node.b.delivered" in kept
+        assert not any("batch" in key for key in kept)

@@ -63,7 +63,7 @@ def test_fastpath_selects_same_decl_as_structural_match(name, packet):
         assert hit is None
     else:
         assert hit is not None
-        decl, decoder = hit
+        decl, decoder, _plan = hit
         assert decl is structural
         # The prebuilt decoder agrees with the structural decode.
         assert decoder(packet) == codec.decode(packet, decl.packet_type)
