@@ -1,0 +1,321 @@
+"""Differential execution oracle.
+
+One (program, stream) pair runs through every engine backend in serial
+and batch modes — six traces — against a standalone mirror of the
+PlanPLayer's dispatch and containment semantics:
+
+* classification uses the same (channel tag, transport class) match
+  table with payload-length admission, first declared overload wins;
+* decode errors are contained per packet (outcome ``decode:<err>``)
+  exactly like the layer's reason="decode" path;
+* contained runtime errors (``PlanPError``/``CodecError``) commit
+  nothing and record the exception name, mirroring reason="runtime";
+* the batch mode replays the layer's :class:`BatchFault` recovery:
+  prefix commit, contained faulted row, sub-batch resume, and the
+  per-packet fallback when batch decode fails before row zero;
+* any *other* exception is an uncontained leak — the thing that would
+  take a router down — and is recorded on the trace as ``crash``.
+
+Two traces are equal iff their final protocol state, per-channel
+states, per-packet outcome strings, emission streams, console output,
+and crash status all agree.  The reference is the interpreter in
+serial mode; every disagreement is a :class:`Divergence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interp import RecordingContext
+from ..interp.values import PlanPList, PlanPTable, default_value
+from ..jit import make_engine
+from ..jit.batching import BatchFault, run_rows
+from ..lang.errors import PlanPError, PlanPRuntimeError
+from ..net.addresses import HostAddr
+from ..runtime import codec
+from .streams import PacketSpec
+
+DEFAULT_BACKENDS = ("interpreter", "closure", "source")
+MODES = ("serial", "batch")
+
+
+def canon(value: object) -> object:
+    """A hashable, comparable canonical form of a PLAN-P value.
+
+    :class:`PlanPTable` compares by identity, so tables canonicalize to
+    their (capacity, insertion-ordered items); an engine inserting in a
+    different order than the interpreter is a real divergence.
+    """
+    if isinstance(value, PlanPTable):
+        return ("table", value.capacity,
+                tuple((canon(k), canon(v)) for k, v in value.items()))
+    if isinstance(value, PlanPList):
+        return ("list", tuple(canon(v) for v in value.items))
+    if isinstance(value, tuple):
+        return ("tuple",) + tuple(canon(v) for v in value)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, HostAddr):
+        return ("host", value.value)
+    return value  # int/str/bytes/headers/UNIT compare structurally
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Everything observable about one execution of a stream."""
+
+    ps: object
+    states: tuple
+    outcomes: tuple
+    emissions: tuple
+    printed: tuple
+    crash: str | None = None
+
+    def diff(self, other: "Trace") -> str | None:
+        """The first differing field, human-readably; None if equal."""
+        for name in ("crash", "outcomes", "ps", "states", "emissions",
+                     "printed"):
+            a, b = getattr(self, name), getattr(other, name)
+            if a != b:
+                return (f"{name}: {_short(a)} != {_short(b)}")
+        return None
+
+
+def _short(value: object, limit: int = 160) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[:limit] + "…"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One engine/mode disagreeing with the reference trace — or an
+    uncontained crash shared by every engine (``backend='*'``)."""
+
+    backend: str
+    mode: str
+    detail: str
+
+
+@dataclass
+class CompareResult:
+    reference: Trace
+    divergences: list[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _err_name(err: Exception) -> str:
+    if isinstance(err, PlanPRuntimeError):
+        return err.exception_name
+    return type(err).__name__
+
+
+class _Runner:
+    """One trace execution: engine + mirrored layer semantics."""
+
+    def __init__(self, info, backend: str, *, seed: int = 7,
+                 batch_size: int = 4):
+        self.info = info
+        self.batch_size = batch_size
+        self.ctx = RecordingContext(seed=seed)
+        self.crash: str | None = None
+        self.outcomes: list[str] = []
+        self.channels = info.all_channels()
+        # (tag, transport class) -> [(decl, plan)] in declaration order,
+        # the PlanPLayer._build_dispatch_table shape.
+        self.table: dict[tuple, list[tuple]] = {}
+        for decl in self.channels:
+            plan = codec.dispatch_plan(decl.packet_type)
+            if plan is None:
+                continue
+            tag = None if decl.name == "network" else decl.name
+            self.table.setdefault((tag, plan.transport_cls),
+                                  []).append((decl, plan))
+        self.ps = default_value(self.channels[0].protocol_state_type)
+        self.states: dict[int, object] = {}
+        self.engine = None
+        try:
+            self.engine = make_engine(info, backend, RecordingContext())
+            for decl in self.channels:
+                self.states[id(decl)] = (
+                    self.engine.initial_channel_state(decl, self.ctx))
+        except PlanPError as err:
+            self.outcomes.append(f"install:{_err_name(err)}")
+        except Exception as err:  # install-time leak
+            self.crash = f"install:{type(err).__name__}"
+
+    def _lookup(self, packet):
+        key = (packet.channel, type(packet.transport))
+        for decl, plan in self.table.get(key, ()):
+            if plan.admits(len(packet.payload)):
+                return decl, plan
+        return None
+
+    def _serial_step(self, packet, hit) -> None:
+        decl, plan = hit
+        try:
+            value = plan.decode(packet)
+        except codec.CodecError:
+            self.outcomes.append("decode")
+            return
+        except Exception as err:
+            # The layer would contain this too, but it violates the
+            # codec error taxonomy — surface it loudly.
+            self.outcomes.append(f"decode-leak:{type(err).__name__}")
+            return
+        try:
+            ps, ss = self.engine.run_channel(
+                decl, self.ps, self.states[id(decl)], value, self.ctx)
+        except (PlanPError, codec.CodecError) as err:
+            self.outcomes.append(f"err:{_err_name(err)}")
+            return
+        except Exception as err:
+            self.crash = type(err).__name__
+            self.outcomes.append(f"leak:{type(err).__name__}")
+            return
+        self.ps = ps
+        self.states[id(decl)] = ss
+        self.outcomes.append("ok")
+
+    def run_serial(self, packets) -> None:
+        for packet in packets:
+            if self.crash:
+                return
+            hit = self._lookup(packet)
+            if hit is None:
+                self.outcomes.append("pass")
+                continue
+            self._serial_step(packet, hit)
+
+    def _runs(self, packets):
+        """Maximal same-entry runs, the classify_batches grouping: a
+        run extends only over packets with the head's transport class,
+        channel tag, and payload length, capped at batch_size."""
+        n = len(packets)
+        i = 0
+        while i < n:
+            p = packets[i]
+            hit = self._lookup(p)
+            if hit is None:
+                yield None, [p]
+                i += 1
+                continue
+            tcls = p.transport.__class__
+            plen = len(p.payload)
+            j = i + 1
+            while (j < min(n, i + self.batch_size)
+                   and packets[j].transport.__class__ is tcls
+                   and packets[j].channel == p.channel
+                   and len(packets[j].payload) == plen):
+                j += 1
+            yield hit, packets[i:j]
+            i = j
+
+    def run_batch(self, packets) -> None:
+        for hit, run_pkts in self._runs(packets):
+            if self.crash:
+                return
+            if hit is None:
+                self.outcomes.append("pass")
+                continue
+            if len(run_pkts) == 1:
+                self._serial_step(run_pkts[0], hit)
+                continue
+            self._run_batch(run_pkts, hit)
+
+    def _run_batch(self, packets, hit) -> None:
+        decl, plan = hit
+        run = getattr(self.engine, "run_channel_batch", None)
+        n = len(packets)
+        start = 0
+        while start < n:
+            batch = plan.batch_decoder().batch(packets[start:])
+            try:
+                if run is not None:
+                    ps, ss = run(decl, self.ps, self.states[id(decl)],
+                                 batch, self.ctx)
+                else:
+                    ps, ss = run_rows(self.engine.run_channel, decl,
+                                      self.ps, self.states[id(decl)],
+                                      batch, self.ctx)
+            except BatchFault as fault:
+                self.outcomes.extend(["ok"] * fault.index)
+                self.ps = fault.ps
+                self.states[id(decl)] = fault.ss
+                err = fault.err
+                if not isinstance(err, (PlanPError, codec.CodecError)):
+                    self.crash = type(err).__name__
+                    self.outcomes.append(f"leak:{type(err).__name__}")
+                    return
+                self.outcomes.append(f"err:{_err_name(err)}")
+                start += fault.index + 1
+            except Exception:
+                # Batch decode/setup failed before row zero: the layer
+                # replays the rest per packet, locating the malformed
+                # row(s) with serial-identical containment.
+                for packet in packets[start:]:
+                    if self.crash:
+                        return
+                    self._serial_step(packet, (decl, plan))
+                return
+            else:
+                self.outcomes.extend(["ok"] * (n - start))
+                self.ps = ps
+                self.states[id(decl)] = ss
+                return
+
+    def trace(self) -> Trace:
+        emissions = tuple(
+            (e.kind, e.channel, canon(e.packet_value),
+             e.neighbor.value if e.neighbor is not None else None)
+            for e in self.ctx.emissions)
+        return Trace(ps=canon(self.ps),
+                     states=tuple(canon(self.states[id(d)])
+                                  for d in self.channels
+                                  if id(d) in self.states),
+                     outcomes=tuple(self.outcomes),
+                     emissions=emissions,
+                     printed=tuple(self.ctx.printed),
+                     crash=self.crash)
+
+
+def run_trace(info, backend: str, mode: str, specs: list[PacketSpec],
+              *, batch_size: int = 4, seed: int = 7) -> Trace:
+    """Execute one stream on one backend in one mode."""
+    runner = _Runner(info, backend, seed=seed, batch_size=batch_size)
+    packets = [s.to_packet() for s in specs]
+    if not runner.crash and not runner.outcomes:
+        if mode == "batch":
+            runner.run_batch(packets)
+        else:
+            runner.run_serial(packets)
+    return runner.trace()
+
+
+def compare_all(info, specs: list[PacketSpec], *,
+                backends=DEFAULT_BACKENDS, batch_size: int = 4,
+                seed: int = 7) -> CompareResult:
+    """Run the full engine×mode matrix and collect divergences.
+
+    An uncontained crash is reported even when every engine agrees on
+    it (``backend='*'``): unanimity does not make a containment leak
+    acceptable.
+    """
+    reference = run_trace(info, backends[0], "serial", specs,
+                          batch_size=batch_size, seed=seed)
+    divergences: list[Divergence] = []
+    for backend in backends:
+        for mode in MODES:
+            if backend == backends[0] and mode == "serial":
+                continue
+            trace = run_trace(info, backend, mode, specs,
+                              batch_size=batch_size, seed=seed)
+            detail = reference.diff(trace)
+            if detail is not None:
+                divergences.append(Divergence(backend, mode, detail))
+    if reference.crash and not divergences:
+        divergences.append(Divergence(
+            "*", "*", f"uncontained crash: {reference.crash}"))
+    return CompareResult(reference=reference, divergences=divergences)

@@ -1,0 +1,146 @@
+"""Deterministic divergence case files and the greedy minimizer.
+
+A *case* is everything needed to reproduce one oracle verdict: the
+program source, the packet stream as :class:`PacketSpec` dicts, the
+batch size, and the campaign seed that found it.  Cases serialize to
+JSON (payloads hex-encoded), so a found divergence is committed under
+``tests/fuzz/corpus/`` and replayed forever by ``fuzzx replay`` and
+the corpus regression test.
+
+The minimizer is ddmin-flavoured greedy shrinking: drop packet chunks
+(halving, then singles), then shrink the surviving payloads (truncate,
+zero) and simplify tags — accepting any candidate on which the oracle
+still fails.  Every oracle invocation counts as one minimizer step
+against the step budget.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from ..lang import parse, typecheck
+from .oracle import CompareResult, compare_all
+from .streams import PacketSpec
+
+CASE_KIND = "planp-fuzz-case"
+CASE_VERSION = 1
+
+
+def make_case(source: str, specs: list[PacketSpec], *, seed: int = 0,
+              batch_size: int = 4, note: str = "") -> dict:
+    return {
+        "version": CASE_VERSION,
+        "kind": CASE_KIND,
+        "seed": seed,
+        "batch_size": batch_size,
+        "note": note,
+        "program": source,
+        "packets": [s.to_dict() for s in specs],
+    }
+
+
+def save_case(case: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> dict:
+    case = json.loads(Path(path).read_text())
+    if case.get("kind") != CASE_KIND:
+        raise ValueError(f"{path} is not a {CASE_KIND} file")
+    return case
+
+
+def case_specs(case: dict) -> list[PacketSpec]:
+    return [PacketSpec.from_dict(d) for d in case["packets"]]
+
+
+def run_case(case: dict, *, backends=None) -> CompareResult:
+    """Re-run a case file through the oracle."""
+    info = typecheck(parse(case["program"]))
+    kwargs = {"batch_size": case.get("batch_size", 4)}
+    if backends is not None:
+        kwargs["backends"] = backends
+    return compare_all(info, case_specs(case), **kwargs)
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.steps = 0
+
+    def spend(self) -> bool:
+        self.steps += 1
+        return self.steps <= self.limit
+
+
+def minimize_case(case: dict, *, max_steps: int = 400,
+                  backends=None) -> tuple[dict, int]:
+    """Greedily shrink a failing case, preserving failure.
+
+    Returns ``(minimized case, oracle invocations spent)``.  The
+    original case is returned unchanged if it no longer fails (a flaky
+    finding would otherwise minimize to noise).
+    """
+    info = typecheck(parse(case["program"]))
+    batch_size = case.get("batch_size", 4)
+    budget = _Budget(max_steps)
+
+    def fails(specs: list[PacketSpec]) -> bool:
+        if not budget.spend():
+            return False
+        result = compare_all(info, specs, batch_size=batch_size,
+                             **({"backends": backends}
+                                if backends is not None else {}))
+        return not result.ok
+
+    specs = case_specs(case)
+    if not fails(specs):
+        return case, budget.steps
+
+    # Phase 1: ddmin over packets — halving chunks, then singles.
+    chunk = max(1, len(specs) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(specs) and len(specs) > 1:
+            candidate = specs[:i] + specs[i + chunk:]
+            if candidate and fails(candidate):
+                specs = candidate
+            else:
+                i += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+
+    # Phase 2: shrink payloads (halve, then empty) and simplify fields.
+    def try_spec(i: int, new: PacketSpec) -> bool:
+        nonlocal specs
+        if new == specs[i]:
+            return False
+        candidate = specs[:i] + [new] + specs[i + 1:]
+        if fails(candidate):
+            specs = candidate
+            return True
+        return False
+
+    for i in range(len(specs)):
+        while len(specs[i].payload) > 0:
+            shorter = specs[i].payload[:len(specs[i].payload) // 2]
+            if not try_spec(i, replace(specs[i], payload=shorter)):
+                break
+        if specs[i].payload:
+            try_spec(i, replace(specs[i],
+                                payload=bytes(len(specs[i].payload))))
+        if specs[i].channel is not None:
+            try_spec(i, replace(specs[i], channel=None))
+
+    minimized = dict(case)
+    minimized["packets"] = [s.to_dict() for s in specs]
+    note = case.get("note", "")
+    minimized["note"] = (note + " " if note else "") + (
+        f"[minimized to {len(specs)} packets in {budget.steps} steps]")
+    return minimized, budget.steps

@@ -297,6 +297,8 @@ def _impl_str_sub(ctx: ExecutionContext, a: list[object]) -> object:
 
 def _impl_str_field(ctx: ExecutionContext, a: list[object]) -> object:
     s, index, sep = a
+    if not sep:
+        raise _raise("Subscript", "strField separator must be non-empty")
     fields = s.split(sep)
     if not 0 <= index < len(fields):
         raise _raise("Subscript",
@@ -416,8 +418,11 @@ def _impl_table_remove(ctx: ExecutionContext, a: list[object]) -> object:
     return UNIT
 
 
+# Capacity clamps at 1: a router ASP asking for a degenerate table must
+# keep running (same totality stance as eviction-on-overflow), and the
+# bare constructor's ValueError must not cross the containment boundary.
 register("mkTable", _rule_mk_table,
-         lambda ctx, a: PlanPTable(a[0]))
+         lambda ctx, a: PlanPTable(max(1, a[0])))
 register("tableGet", _rule_table_get, _impl_table_get,
          may_raise=("NotFound",))
 register("tableGetDefault", _rule_table_get_default,

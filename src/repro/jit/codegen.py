@@ -40,7 +40,7 @@ from .batching import BatchFault, run_rows
 #: Bumped whenever the shape of the generated code changes (new entry
 #: points, different lowering), so the content-addressed program cache
 #: never serves artifacts emitted by an older generator.
-CODEGEN_REV = 2
+CODEGEN_REV = 3
 
 _SIMPLE_BINOPS = {
     "+": "+",
@@ -126,6 +126,45 @@ def _scan_projections(expr: ast.Expr, pname: str, out: set[int]) -> bool:
     return True  # literals / Raise
 
 
+def _let_bound_names(expr: ast.Expr, out: set[str]) -> set[str]:
+    """Every (mangled) name bound by a ``let`` anywhere in ``expr``.
+
+    ``let`` lowers to a plain Python assignment, so these locals can be
+    *reassigned* mid-function when two lets reuse a name; any other
+    ``L_*`` name (a parameter never shadowed by a let) is written
+    exactly once."""
+    kind = type(expr)
+    if kind is ast.Let:
+        for binding in expr.bindings:
+            out.add(_mangle(binding.name))
+            _let_bound_names(binding.value, out)
+        _let_bound_names(expr.body, out)
+    elif kind is ast.BinOp:
+        _let_bound_names(expr.left, out)
+        _let_bound_names(expr.right, out)
+    elif kind is ast.UnOp:
+        _let_bound_names(expr.operand, out)
+    elif kind is ast.If:
+        _let_bound_names(expr.cond, out)
+        _let_bound_names(expr.then, out)
+        _let_bound_names(expr.orelse, out)
+    elif kind is ast.Seq:
+        for e in expr.exprs:
+            _let_bound_names(e, out)
+    elif kind is ast.TupleExpr:
+        for e in expr.elems:
+            _let_bound_names(e, out)
+    elif kind is ast.Proj:
+        _let_bound_names(expr.tuple_expr, out)
+    elif kind is ast.Call:
+        for a in expr.args:
+            _let_bound_names(a, out)
+    elif kind is ast.Try:
+        _let_bound_names(expr.body, out)
+        _let_bound_names(expr.handler, out)
+    return out
+
+
 class _Emitter:
     """Accumulates generated Python source with indentation."""
 
@@ -176,6 +215,7 @@ class _CodeGenerator:
         self._global_names = {decl.name for decl in info.program.vals}
         self._host_constants: dict[str, HostAddr] = {}
         self._batch_pname: str | None = None
+        self._rebindable: set[str] = set()
 
     def build(self) -> SourceArtifact:
         emitter = _Emitter()
@@ -205,6 +245,7 @@ class _CodeGenerator:
                        params: list[str], body: ast.Expr) -> None:
         emitter.emit(f"def {fn_name}({', '.join(params)}):")
         emitter.push()
+        self._rebindable = _let_bound_names(body, set())
         result = self._expr(emitter, body)
         emitter.emit(f"return {result}")
         emitter.pop()
@@ -246,6 +287,7 @@ class _CodeGenerator:
         emitter.emit(f"L_{_mangle(ps_p.name)} = _bps")
         emitter.emit(f"L_{_mangle(ss_p.name)} = _bss")
         self._batch_pname = pk_p.name if projs is not None else None
+        self._rebindable = _let_bound_names(decl.body, set())
         try:
             result = self._expr(emitter, decl.body)
         finally:
@@ -281,7 +323,10 @@ class _CodeGenerator:
         statement order equals PLAN-P evaluation order even when a later
         sibling operand lowers to statements."""
         text = self._expr(em, expr)
-        if self._ATOMIC.match(text):
+        if self._ATOMIC.match(text) and not (
+                text.startswith("L_") and text[2:] in self._rebindable):
+            # A let-rebindable local is *not* a safe pin result: a later
+            # sibling's ``L_x = ...`` would clobber it before use.
             return text
         tmp = self._fresh()
         em.emit(f"{tmp} = {text}")

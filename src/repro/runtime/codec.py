@@ -128,6 +128,25 @@ class DispatchPlan:
         return bd
 
 
+def _check_payload_len(n: int, fixed: int, has_tail: bool,
+                       packet_type) -> None:
+    """Reject payloads the view layout cannot consume exactly.
+
+    Every decoder front door funnels malformed lengths through here so
+    truncated or stride-breaking payloads surface as :class:`CodecError`
+    — never as a silent short-slice decode (``int.from_bytes`` happily
+    decodes a 2-byte slice of a 4-byte view) or a leaked ``IndexError``.
+    """
+    if n < fixed:
+        raise CodecError(
+            f"payload of {n} bytes is shorter than the {fixed} fixed "
+            f"bytes of {packet_type}")
+    if not has_tail and n != fixed:
+        raise CodecError(
+            f"payload of {n} bytes does not match the exact {fixed} "
+            f"bytes of tail-less {packet_type}")
+
+
 def _view_steps(views: list[T.Type]) -> list:
     """One closure per payload view, offset baked in."""
     steps = []
@@ -160,15 +179,23 @@ def make_decoder(packet_type: T.TupleType):
     view walk and all offsets resolved ahead of time."""
     transport, views = packet_views(packet_type)
     steps = _view_steps(views)
+    fixed = sum(_FIXED_SIZES.get(v, 0) for v in views)
+    has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
     if transport is None:
         def decode_raw(packet: Packet) -> tuple:
             payload = packet.payload
+            n = len(payload)
+            if n < fixed or (not has_tail and n != fixed):
+                _check_payload_len(n, fixed, has_tail, packet_type)
             return (packet.ip, *(step(payload) for step in steps))
 
         return decode_raw
 
     def decode_transport(packet: Packet) -> tuple:
         payload = packet.payload
+        n = len(payload)
+        if n < fixed or (not has_tail and n != fixed):
+            _check_payload_len(n, fixed, has_tail, packet_type)
         return (packet.ip, packet.transport,
                 *(step(payload) for step in steps))
 
@@ -303,13 +330,28 @@ def make_batch_decoder(packet_type: T.TupleType) -> BatchDecoder:
         cols.append("_tr")
     if fixed_views:
         if has_tail:
-            lines.append("    _ts = [_unpack(_p.payload) for _p in _pk]")
+            lines.append("    try:")
+            lines.append("        _ts = [_unpack(_p.payload) "
+                         "for _p in _pk]")
+            lines.append("    except _StructError:")
+            lines.append("        raise CodecError("
+                         '"batch payload shorter than the fixed views") '
+                         "from None")
         else:
-            lines.append('    _ts = list(_iter_unpack(b"".join('
-                         "[_p.payload for _p in _pk])))")
-            lines.append("    if len(_ts) != len(_pk):")
+            # Compensating corruption (one payload short, another long)
+            # keeps the joined length a stride multiple, so the
+            # iter_unpack row count alone cannot be trusted: check every
+            # payload length up front (n int compares per batch).
+            lines.append(f"    if any(len(_p.payload) != {fixed} "
+                         "for _p in _pk):")
             lines.append("        raise CodecError("
                          '"batch payload stride mismatch")')
+            lines.append("    try:")
+            lines.append('        _ts = list(_iter_unpack(b"".join('
+                         "[_p.payload for _p in _pk])))")
+            lines.append("    except _StructError:")
+            lines.append("        raise CodecError("
+                         '"batch payload stride mismatch") from None')
         if len(fixed_views) == 1:
             lines.append("    _f0 = [_t[0] for _t in _ts]")
         else:
@@ -325,7 +367,8 @@ def make_batch_decoder(packet_type: T.TupleType) -> BatchDecoder:
         cols.append("_tl")
     lines.append(f"    return ({', '.join(cols)}{comma})")
 
-    namespace: dict[str, object] = {"CodecError": CodecError}
+    namespace: dict[str, object] = {"CodecError": CodecError,
+                                    "_StructError": struct.error}
     if fixed_views:
         fmt = ">" + "".join(_STRUCT_FMT[v] for v in fixed_views)
         packer = struct.Struct(fmt)
@@ -345,8 +388,23 @@ def make_batch_decoder(packet_type: T.TupleType) -> BatchDecoder:
 
 
 def decode(packet: Packet, packet_type: T.TupleType) -> tuple:
-    """Build the PLAN-P packet value a channel receives."""
+    """Build the PLAN-P packet value a channel receives.
+
+    Raises :class:`CodecError` when the packet does not fit the type —
+    wrong transport header, truncated payload, or a tail-less layout
+    whose payload length is not exactly the fixed view size.
+    """
     transport, views = packet_views(packet_type)
+    if transport == T.TCP and not isinstance(packet.transport, TcpHeader):
+        raise CodecError(f"packet has no tcp header for {packet_type}")
+    if transport == T.UDP and not isinstance(packet.transport, UdpHeader):
+        raise CodecError(f"packet has no udp header for {packet_type}")
+    if transport is None and packet.transport is not None:
+        raise CodecError(
+            f"packet carries a transport header but {packet_type} is raw")
+    fixed = sum(_FIXED_SIZES.get(v, 0) for v in views)
+    has_tail = bool(views) and views[-1] in (T.BLOB, T.STRING)
+    _check_payload_len(len(packet.payload), fixed, has_tail, packet_type)
     parts: list[object] = [packet.ip]
     if transport is not None:
         parts.append(packet.transport)
@@ -405,7 +463,12 @@ def encode(value: tuple, *, channel: str | None = None,
         elif isinstance(part, bool):
             chunks.append(b"\x01" if part else b"\x00")
         elif isinstance(part, int):
-            chunks.append(int(part).to_bytes(4, "big", signed=True))
+            try:
+                chunks.append(int(part).to_bytes(4, "big", signed=True))
+            except OverflowError:
+                raise CodecError(
+                    f"int {part} does not fit the 4-byte wire "
+                    f"encoding") from None
         elif isinstance(part, str) and len(part) == 1:
             chunks.append(part.encode("latin-1", errors="replace"))
         elif isinstance(part, str):

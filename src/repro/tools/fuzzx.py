@@ -1,0 +1,137 @@
+"""``fuzzx`` — the differential fuzzing CLI.
+
+    python -m repro.tools.fuzzx run --budget 60 --seed 7
+    python -m repro.tools.fuzzx run --budget 0 --min-pairs 500 \\
+        --out tests/fuzz/corpus --json report.json
+    python -m repro.tools.fuzzx replay tests/fuzz/corpus/case.json
+    python -m repro.tools.fuzzx replay --minimize failing-case.json
+
+``run`` executes a bounded-time campaign: seeded program generation,
+adversarial streams, and the full engine×mode differential oracle.
+It prints a JSON report and exits non-zero iff any divergence (or
+containment leak) was found — the CI smoke step is exactly
+``fuzzx run --budget 60 --seed $RUN_ID`` with the exit code as the
+verdict.  Findings are minimized and written as replayable case files
+under ``--out``.
+
+``replay`` re-runs committed case files through the oracle.  A healthy
+corpus case passes (the bug it captured is fixed and stays fixed); a
+failing replay prints the divergence detail and exits 1.  With
+``--minimize`` a still-failing case is shrunk further in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..fuzz import (load_case, minimize_case, run_campaign, run_case,
+                    save_case)
+from ..fuzz.oracle import DEFAULT_BACKENDS
+
+
+def _parse_backends(text: str | None):
+    if not text:
+        return DEFAULT_BACKENDS
+    backends = tuple(b.strip() for b in text.split(",") if b.strip())
+    for b in backends:
+        if b not in DEFAULT_BACKENDS:
+            raise SystemExit(
+                f"unknown backend {b!r} (choose from "
+                f"{', '.join(DEFAULT_BACKENDS)})")
+    return backends
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    report = run_campaign(
+        args.seed, budget_s=args.budget, min_pairs=args.min_pairs,
+        max_pairs=args.max_pairs,
+        streams_per_program=args.streams_per_program,
+        stream_len=args.stream_len, batch_size=args.batch_size,
+        backends=_parse_backends(args.backends), out_dir=args.out,
+        minimize=not args.no_minimize)
+    doc = report.to_dict()
+    if args.json:
+        with open(args.json, "w") as fp:
+            json.dump(doc, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if not report.ok:
+        print(f"{report.divergences} divergence(s) in {report.pairs} "
+              f"pairs — case files under {args.out or '(not saved)'}",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {report.pairs} pairs, {report.programs} programs, "
+          f"0 divergences in {report.elapsed_s:.1f}s", file=sys.stderr)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    backends = _parse_backends(args.backends)
+    failed = 0
+    for path in args.cases:
+        case = load_case(path)
+        result = run_case(case, backends=backends)
+        if result.ok:
+            print(f"ok    {path}  ({len(case['packets'])} packets)")
+            continue
+        failed += 1
+        print(f"FAIL  {path}")
+        for d in result.divergences:
+            print(f"      {d.backend}/{d.mode}: {d.detail}")
+        if args.minimize:
+            minimized, steps = minimize_case(case, backends=backends)
+            save_case(minimized, path)
+            print(f"      minimized to {len(minimized['packets'])} "
+                  f"packets in {steps} steps — rewrote {path}")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.fuzzx",
+        description="grammar-based differential fuzzing harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a bounded-time campaign")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (default: 0)")
+    p_run.add_argument("--budget", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="time budget; the --min-pairs floor still "
+                            "applies (default: 60)")
+    p_run.add_argument("--min-pairs", type=int, default=200, metavar="N",
+                       help="minimum (program, stream) pairs (default: "
+                            "200)")
+    p_run.add_argument("--max-pairs", type=int, default=None,
+                       metavar="N", help="hard cap on pairs")
+    p_run.add_argument("--streams-per-program", type=int, default=4,
+                       metavar="N")
+    p_run.add_argument("--stream-len", type=int, default=12, metavar="N")
+    p_run.add_argument("--batch-size", type=int, default=4, metavar="N")
+    p_run.add_argument("--backends", metavar="B1,B2",
+                       help="comma-separated backend subset (default: "
+                            "all three)")
+    p_run.add_argument("--out", metavar="DIR",
+                       help="directory for minimized finding case files")
+    p_run.add_argument("--json", metavar="PATH",
+                       help="also write the report JSON to a file")
+    p_run.add_argument("--no-minimize", action="store_true",
+                       help="save findings unminimized")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_replay = sub.add_parser("replay", help="re-run case files")
+    p_replay.add_argument("cases", nargs="+", metavar="CASE.json")
+    p_replay.add_argument("--backends", metavar="B1,B2")
+    p_replay.add_argument("--minimize", action="store_true",
+                          help="shrink still-failing cases in place")
+    p_replay.set_defaults(fn=cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

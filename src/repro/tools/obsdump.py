@@ -7,6 +7,7 @@
     python -m repro.tools.obsdump mpeg --quick
     python -m repro.tools.obsdump microbench
     python -m repro.tools.obsdump chaos --lifecycle
+    python -m repro.tools.obsdump fuzz --quick
 
 Each mode runs one scenario and dumps its metrics snapshot as sorted
 JSON on stdout; ``--events`` additionally prints the structured event
@@ -34,7 +35,7 @@ import sys
 from ..obs import GLOBAL
 
 MODES = ("demo", "audio", "http", "images", "mpeg", "microbench",
-         "chaos")
+         "chaos", "fuzz")
 
 
 # ---------------------------------------------------------------------------
@@ -163,6 +164,18 @@ def lifecycle_summary(events: list[dict]) -> dict:
             "nodes": {name: nodes[name] for name in sorted(nodes)}}
 
 
+def _run_fuzz(quick: bool) -> tuple[dict, list]:
+    """A short differential-fuzzing campaign; the snapshot shows the
+    ``fuzz.*`` counters (programs, streams, pairs, divergences,
+    minimizer steps) a real ``fuzzx`` run would emit."""
+    from ..fuzz import run_campaign
+
+    run_campaign(7, budget_s=0.0, min_pairs=40 if quick else 200,
+                 minimize=False)
+    events = [record.to_dict() for record in GLOBAL.events.filter()]
+    return GLOBAL.snapshot(), events
+
+
 def _run_microbench(quick: bool) -> tuple[dict, list]:
     from ..experiments.microbench import run_engine_microbench
 
@@ -205,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
         show_events = args.events
     elif args.mode == "chaos":
         metrics, events = _run_chaos(args.quick)
+        show_events = args.events
+    elif args.mode == "fuzz":
+        metrics, events = _run_fuzz(args.quick)
         show_events = args.events
     else:
         runner = {"audio": _run_audio, "http": _run_http,

@@ -131,6 +131,25 @@ class TestBasicEquivalence:
                "(OnRemote(network, p); (listLen(ps :: ss), ps :: ss))")
         assert_agree(src, [tcp_packet_value()] * 3)
 
+    def test_sibling_lets_reusing_a_name(self):
+        # Fuzzer-found: two sibling lets binding the same name lower to
+        # two assignments of one Python local, so the first let's result
+        # must be pinned to a temporary before the second let clobbers
+        # it.  The source engine used to return the *second* binding's
+        # value as the first tuple element.
+        src = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+               "((let val v1 : int = ps + 1 in v1 end), "
+               "(let val v1 : unit = () in ss end))")
+        assert_agree(src, [tcp_packet_value()] * 3)
+
+    def test_let_shadowing_a_parameter(self):
+        # Same clobber hazard when the reused name is a channel
+        # parameter: `let val ps = ...` reassigns L_ps, so a pinned read
+        # of the parameter must happen before the rebinding runs.
+        src = ("channel network(ps : int, ss : unit, p : ip*tcp*blob) is "
+               "(ps + (let val ps : int = 100 in ps end), ss)")
+        assert_agree(src, [tcp_packet_value()] * 3)
+
 
 class TestShippedAsps:
     """The five paper ASPs produce identical behaviour on all engines."""

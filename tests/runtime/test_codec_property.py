@@ -78,3 +78,134 @@ def test_matching_is_total(raw):
     packet = codec.encode((IpHeader(), UdpHeader(), raw))
     for ty, _strategy in SHAPES:
         codec.matches(packet, ty)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# The ASP catalog's wire contract
+# ---------------------------------------------------------------------------
+
+#: Max tail exercised by the boundary tests — a 64 KiB payload is far
+#: beyond anything the experiments ship but must still round-trip.
+MAX_TAIL = 64 * 1024
+
+#: latin-1 is the wire's string charset; stay within it so the
+#: round-trip is exact (encode uses errors="replace" beyond it).
+_latin1_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=255),
+    max_size=64)
+
+
+def catalog_packet_types():
+    """Every packet type declared by any catalog ASP, derived from the
+    ASP sources themselves so new catalog entries are picked up."""
+    from repro import asps
+    sources = [
+        asps.audio_router_asp(),
+        asps.audio_client_asp(),
+        asps.http_gateway_asp("10.0.0.1", ["10.0.0.2", "10.0.0.3"]),
+        asps.image_distiller_asp(),
+        asps.mpeg_monitor_asp(),
+        asps.mpeg_client_asp(),
+        asps.firewall_asp([23, 2049]),
+        asps.content_filter_asp("X", "10.0.0.9"),
+        asps.link_compressor_asp(app_port=7000),
+        asps.link_decompressor_asp(app_port=7000),
+    ]
+    from repro.lang import parse, typecheck
+    types = {}
+    for source in sources:
+        for decl in typecheck(parse(source)).all_channels():
+            types[str(decl.packet_type)] = decl.packet_type
+    return [types[key] for key in sorted(types)]
+
+
+CATALOG_TYPES = catalog_packet_types()
+
+
+def _view_strategy(view):
+    if view == T.INT:
+        return st.integers(-2**31, 2**31 - 1)
+    if view == T.HOST:
+        return addresses
+    if view == T.CHAR:
+        return st.integers(0, 255).map(chr)
+    if view == T.BOOL:
+        return st.booleans()
+    if view == T.STRING:
+        return _latin1_text
+    return payloads  # blob
+
+
+def _shape_strategy(packet_type):
+    transport, views = codec.packet_views(packet_type)
+    if transport == T.TCP:
+        parts = [tcp_ip, tcp_headers]
+    else:
+        parts = [udp_ip, udp_headers]
+    parts.extend(_view_strategy(v) for v in views)
+    return st.tuples(*parts)
+
+
+@st.composite
+def catalog_values(draw):
+    ty = draw(st.sampled_from(CATALOG_TYPES))
+    return ty, draw(_shape_strategy(ty))
+
+
+@given(catalog_values())
+@settings(max_examples=200, deadline=None)
+def test_catalog_roundtrip(shape):
+    """decode(encode(v)) == v for every packet type any catalog ASP
+    (audio, http, images, mpeg, filters) declares — through the generic
+    decoder AND the compiled per-type dispatch plan."""
+    ty, value = shape
+    packet = codec.encode(value)
+    assert codec.matches(packet, ty)
+    assert codec.decode(packet, ty) == value
+    plan = codec.dispatch_plan(ty)
+    assert plan.admits(len(packet.payload))
+    assert plan.decode(packet) == value
+
+
+def _boundary_value(packet_type, tail):
+    """A deterministic value for one catalog type with a chosen tail."""
+    transport, views = codec.packet_views(packet_type)
+    if transport == T.TCP:
+        parts = [IpHeader(src=HostAddr(0x0A000001),
+                          dst=HostAddr(0x0A000002), proto=6),
+                 TcpHeader(src_port=1234, dst_port=80)]
+    else:
+        parts = [IpHeader(src=HostAddr(0x0A000001),
+                          dst=HostAddr(0x0A000002), proto=17),
+                 UdpHeader(src_port=1234, dst_port=7)]
+    for view in views:
+        if view == T.INT:
+            parts.append(-1)
+        elif view == T.HOST:
+            parts.append(HostAddr(0xFFFFFFFF))
+        elif view == T.CHAR:
+            parts.append("\xff")
+        elif view == T.BOOL:
+            parts.append(True)
+        elif view == T.STRING:
+            parts.append(tail.decode("latin-1"))
+        else:
+            parts.append(tail)
+    return tuple(parts)
+
+
+def test_catalog_empty_and_max_tails():
+    """The boundary payloads — empty tail and a 64 KiB tail — round-trip
+    for every catalog packet type (fixed layouts like ip*udp*host*int
+    have nothing to vary, so one canonical value covers them)."""
+    for ty in CATALOG_TYPES:
+        _transport, views = codec.packet_views(ty)
+        if views and views[-1] in (T.BLOB, T.STRING):
+            tails = (b"", b"\x00", bytes(range(256)) * (MAX_TAIL // 256))
+        else:
+            tails = (b"",)  # no tail view; _boundary_value ignores it
+        for tail in tails:
+            value = _boundary_value(ty, tail)
+            packet = codec.encode(value)
+            assert codec.decode(packet, ty) == value
+            assert codec.dispatch_plan(ty).decode(packet) == value
