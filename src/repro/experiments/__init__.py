@@ -5,6 +5,7 @@ from .microbench import (BRIDGE_ASP, MicrobenchResult, make_bridge_packets,
                          run_engine_microbench)
 from .result import (ExperimentResult, LegacyResult, deterministic_metrics,
                      jsonify)
+from .upgrade import UpgradeResult, run_upgrade_experiment
 
 __all__ = [
     "BRIDGE_ASP",
@@ -13,10 +14,12 @@ __all__ = [
     "Fig3Row",
     "LegacyResult",
     "MicrobenchResult",
+    "UpgradeResult",
     "deterministic_metrics",
     "fig3_codegen_table",
     "format_fig3_table",
     "jsonify",
     "make_bridge_packets",
     "run_engine_microbench",
+    "run_upgrade_experiment",
 ]

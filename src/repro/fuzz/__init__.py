@@ -21,7 +21,11 @@ continuously":
   case under ``tests/fuzz/corpus/``;
 * :mod:`.runner` — bounded-time campaigns (the ``fuzzx`` CLI and the
   CI smoke step), emitting ``fuzz.*`` counters through
-  :mod:`repro.obs`.
+  :mod:`repro.obs`;
+* :mod:`.pairs` — paired-program campaigns validating the
+  wire-compatibility checker (:mod:`repro.analysis.wire`) against an
+  actual packet exchange between two program generations: any false
+  accept (checker says rollable, the wire diverges) is a finding.
 
 Everything is driven by :class:`random.Random` seeded explicitly —
 a campaign seed reproduces its exact programs, streams, and verdicts.
@@ -31,6 +35,10 @@ from .grammar import (GrammarCoverageError, ast_inventory,
                       check_grammar_coverage, gen_program)
 from .oracle import (DEFAULT_BACKENDS, CompareResult, Divergence, Trace,
                      compare_all, run_trace)
+from .pairs import (WIRE_CASE_KIND, PairFinding, PairReport,
+                    exchange_divergences, gen_pair, load_wire_case,
+                    make_wire_case, minimize_wire_case, mutate_overloads,
+                    run_pair_campaign, run_wire_case)
 from .replay import (case_specs, load_case, make_case, minimize_case,
                      run_case, save_case)
 from .runner import Finding, FuzzReport, derive_seed, run_campaign
@@ -42,5 +50,8 @@ __all__ = [
     "Trace", "compare_all", "run_trace", "case_specs", "load_case",
     "make_case", "minimize_case", "run_case", "save_case", "Finding",
     "FuzzReport", "derive_seed", "run_campaign", "PacketSpec",
-    "gen_stream",
+    "gen_stream", "WIRE_CASE_KIND", "PairFinding", "PairReport",
+    "exchange_divergences", "gen_pair", "load_wire_case",
+    "make_wire_case", "minimize_wire_case", "mutate_overloads",
+    "run_pair_campaign", "run_wire_case",
 ]

@@ -139,6 +139,9 @@ def chaos_matrix() -> list[Scenario]:
         Scenario("chaos/drill-4", "chaos",
                  {"profile": "drill", "n_routers": 4, "duration": 10.0},
                  seed=13, tags=tags("drill")),
+        Scenario("chaos/upgrade-16", "upgrade",
+                 {"n_routers": 16, "duration": 8.0}, seed=5,
+                 tags=tags("upgrade", "chaos-smoke")),
         Scenario("chaos/audio-faults", "chaos",
                  {"profile": "audio", "duration": 20.0}, seed=7,
                  tags=tags("audio")),

@@ -85,6 +85,8 @@ def _register_all() -> None:
     from ..apps.mpeg.experiment import (MpegExperimentResult,
                                         run_mpeg_experiment)
     from ..experiments.chaos import ChaosResult, run_chaos_experiment
+    from ..experiments.upgrade import (UpgradeResult,
+                                       run_upgrade_experiment)
     from ..experiments.fig3 import Fig3Result, fig3_codegen_table
     from ..experiments.microbench import (MicrobenchResult,
                                           run_engine_microbench)
@@ -150,6 +152,12 @@ def _register_all() -> None:
              description="lifecycle/fault chaos drill (one profile)"
              )(lambda *, seed, **p: run_chaos_experiment(seed=seed,
                                                          **p))
+
+    register("upgrade", result_cls=UpgradeResult,
+             description="rolling-upgrade drill: wire-compat veto "
+                         "plus a compatible canary promotion"
+             )(lambda *, seed, **p: run_upgrade_experiment(seed=seed,
+                                                           **p))
 
 
 _register_all()

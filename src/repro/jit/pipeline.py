@@ -42,6 +42,7 @@ from .specializer import ClosureEngine
 
 if TYPE_CHECKING:
     from ..analysis.verifier import VerificationReport
+    from ..analysis.wire import WireSummary
 
 BACKENDS = ("interpreter", "closure", "source")
 
@@ -96,16 +97,19 @@ class CacheStats:
     verify_misses: int = 0
     engine_hits: int = 0
     engine_misses: int = 0
+    wire_hits: int = 0
+    wire_misses: int = 0
     loads: int = 0
 
     @property
     def total_hits(self) -> int:
-        return self.frontend_hits + self.verify_hits + self.engine_hits
+        return self.frontend_hits + self.verify_hits + self.engine_hits \
+            + self.wire_hits
 
     @property
     def total_misses(self) -> int:
         return self.frontend_misses + self.verify_misses \
-            + self.engine_misses
+            + self.engine_misses + self.wire_misses
 
     def snapshot(self) -> "CacheStats":
         return dataclasses.replace(self)
@@ -128,6 +132,7 @@ class ProgramCache:
         self._frontend: dict[str, ProgramInfo] = {}
         self._reports: dict[str, "VerificationReport"] = {}
         self._artifacts: dict[tuple[str, str], object] = {}
+        self._wire: dict[tuple[str, int], "WireSummary"] = {}
 
     @staticmethod
     def digest(source: str) -> str:
@@ -137,6 +142,7 @@ class ProgramCache:
         self._frontend.clear()
         self._reports.clear()
         self._artifacts.clear()
+        self._wire.clear()
         self.stats = CacheStats()
 
     def _put(self, table: dict, key, value) -> None:
@@ -193,6 +199,26 @@ class ProgramCache:
             raise VerificationError(
                 f"{info.program.source_name} rejected by {failure.name}: "
                 f"{failure.detail}", analysis=failure.name)
+
+    def wire(self, key: str, info: ProgramInfo) -> "WireSummary":
+        """The program's per-channel wire summary, memoized.
+
+        Like verification it is a property of the source alone; the
+        entry is keyed with ``WIRE_REV`` so summaries derived by an
+        older revision of the checker are keyed out.
+        """
+        from ..analysis.wire import WIRE_REV, wire_summary
+
+        wkey = (key, WIRE_REV)
+        summary = self._wire.get(wkey)
+        if summary is not None:
+            self.stats.wire_hits += 1
+            return summary
+        self.stats.wire_misses += 1
+        with GLOBAL.metrics.span("jit.wire_ms"):
+            summary = wire_summary(info)
+        self._put(self._wire, wkey, summary)
+        return summary
 
     def engine_artifact(self, key: str, info: ProgramInfo,
                         backend: str) -> object | None:
@@ -259,6 +285,10 @@ class LoadedProgram:
     #: point (batched execution with the BatchFault containment
     #: contract)?
     batch_capable: bool = False
+    #: the per-channel wire-protocol summary (packet shapes + emission
+    #: topology) the lifecycle manager compares across generations
+    #: before opening a canary window
+    wire: "WireSummary | None" = None
 
 
 def count_source_lines(source: str) -> int:
@@ -295,6 +325,7 @@ def load_program(source: str, *, backend: str = "closure",
     with GLOBAL.metrics.span("jit.codegen_ms") as timer:
         artifact = cache.engine_artifact(key, info, backend)
         engine = make_engine(info, backend, ctx, artifact=artifact)
+    wire = cache.wire(key, info)
     cache.stats.loads += 1
     hit = cache.stats.total_hits > before
     GLOBAL.events.emit("jit", sha=key[:12], backend=backend,
@@ -308,4 +339,5 @@ def load_program(source: str, *, backend: str = "closure",
                          source=source,
                          verified=verify,
                          batch_capable=hasattr(engine,
-                                               "run_channel_batch"))
+                                               "run_channel_batch"),
+                         wire=wire)

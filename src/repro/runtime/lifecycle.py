@@ -18,6 +18,12 @@ The paper's premise is hot-loading programs into live routers (§2.1,
   replay after a crash — are all versioned.
 
 * **Staged, health-gated rollout.**  :meth:`LifecycleManager.rollout`
+  first proves the candidate **wire-compatible** with every generation
+  currently running on the target fleet (the per-channel
+  :class:`~repro.analysis.wire.WireSummary` comparison — packet shapes
+  and emission topology): an incompatible candidate is **vetoed** with
+  a structured reason before any canary packet flows (``rollout`` /
+  ``veto`` event; ``force=True`` is the operator override).  It then
   installs on a canary subset first, holds for
   ``LifecyclePolicy.health_window`` simulated seconds, and judges the
   canaries on packets processed, the runtime-error rate, and the
@@ -119,6 +125,10 @@ class LifecyclePolicy:
     #: trips of one generation on one node before the manager stops
     #: retrying and rolls the fleet back instead
     rollback_after_trips: int = 2
+    #: statically prove gen-N ↔ gen-N+1 wire compatibility before a
+    #: canary window opens; an incompatible candidate is vetoed
+    #: (``force=True`` overrides)
+    wire_check: bool = True
 
 
 class CircuitBreaker:
@@ -126,9 +136,11 @@ class CircuitBreaker:
 
     Pure mechanism: it owns no node and schedules nothing — it just
     answers "did this error exhaust the budget?" against an injected
-    clock.  The window is exact, not bucketed: the breaker trips at the
-    first error that makes *some* window of ``window`` seconds hold
-    more than ``budget`` errors, and never trips otherwise.
+    clock.  The window is exact, not bucketed, and **closed**: an error
+    at time ``t`` still counts at ``t + window`` (the window is the
+    inclusive interval ``[now - window, now]``), so the breaker trips
+    at the first error that makes some such window hold more than
+    ``budget`` errors, and never trips otherwise.
     """
 
     def __init__(self, *, budget: int, window: float,
@@ -148,9 +160,11 @@ class CircuitBreaker:
         self._ok_run = 0
 
     def _expire(self, now: float) -> None:
+        # Strict <: an error exactly ``window`` seconds old is still
+        # inside the closed window and must keep counting.
         horizon = now - self.window
         errors = self._errors
-        while errors and errors[0] <= horizon:
+        while errors and errors[0] < horizon:
             errors.popleft()
 
     @property
@@ -297,6 +311,9 @@ class Rollout:
     state: RolloutState = RolloutState.STAGED
     #: why the rollout aborted (empty while live / after promotion)
     reason: str = ""
+    #: wire-compatibility verdict per distinct running generation
+    #: (old-generation sha prefix -> verdict description)
+    wire_verdicts: dict[str, str] = field(default_factory=dict)
     #: canary health baseline: node -> (packets_processed, runtime_errors)
     baseline: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: fleet delivery-drop count at canary time
@@ -329,6 +346,7 @@ class LifecycleManager:
         # deterministic counters (all land in metrics snapshots)
         self.promoted = 0
         self.aborted = 0
+        self.vetoes = 0
         self.trips = 0
         self.quarantines = 0
         self.half_opens = 0
@@ -342,6 +360,7 @@ class LifecycleManager:
             "rollouts": len(self.rollouts),
             "promoted": self.promoted,
             "aborted": self.aborted,
+            "vetoes": self.vetoes,
             "trips": self.trips,
             "quarantines": self.quarantines,
             "half_opens": self.half_opens,
@@ -391,10 +410,19 @@ class LifecycleManager:
 
         ``canary`` overrides the policy's canary selection (the first
         ``canary_fraction`` of the fleet, in the given order).
-        ``force=True`` skips the gate and promotes immediately — the
-        privileged operator path; the circuit breakers still guard it.
+        ``force=True`` skips both the wire-compatibility veto and the
+        health gate and promotes immediately — the privileged operator
+        path; the circuit breakers still guard it.
         Raises :class:`VerificationError` (touching no node) when
         ``verify`` is requested and fails.
+
+        When ``policy.wire_check`` holds, the candidate's
+        :class:`~repro.analysis.wire.WireSummary` is compared against
+        every generation currently running on the target nodes; an
+        ``incompatible`` verdict vetoes the rollout *before any canary
+        packet flows* — the returned rollout is ABORTED with a
+        ``wire-incompatible:`` reason and a ``rollout``/``veto`` event
+        is emitted, and no node is touched.
         """
         managed = self.manage(*nodes)
         names = [nl.node.name for nl in managed]
@@ -427,6 +455,16 @@ class LifecycleManager:
         self._emit("rollout", action="stage", rollout=rollout.number,
                    sha=sha[:12], nodes=len(names),
                    canary=len(canary_names), name=source_name)
+        if self.policy.wire_check and not force:
+            blockers = self._wire_gate(rollout, source, source_name,
+                                       names)
+            if blockers:
+                rollout.state = RolloutState.ABORTED
+                rollout.reason = "wire-incompatible: " \
+                    + "; ".join(blockers)
+                self.vetoes += 1
+                self.aborted += 1
+                return rollout
         if force:
             self._install(source, names, backend, verify, source_name)
             rollout.state = RolloutState.PROMOTED
@@ -441,6 +479,56 @@ class LifecycleManager:
         self._emit("rollout", action="canary", rollout=rollout.number,
                    sha=sha[:12], nodes=len(canary_names))
         return rollout
+
+    def _wire_gate(self, rollout: Rollout, source: str,
+                   source_name: str, names: list[str]) -> list[str]:
+        """Prove the candidate wire-compatible with every generation
+        currently running on ``names``.
+
+        Fills ``rollout.wire_verdicts`` (one verdict per distinct
+        running generation) and returns the blocking descriptions —
+        empty when the fleet may mix the candidate with everything it
+        currently runs.  A candidate whose source cannot even be
+        summarized (e.g. an unparseable ``verify=False`` push destined
+        for node-side rejection) is left to the install path's own
+        error handling.
+        """
+        from ..analysis.wire import check_compatible
+
+        cache = self.deployment.cache
+        try:
+            key, info = cache.frontend(source, source_name)
+            new_summary = cache.wire(key, info)
+        except Exception:
+            return []
+        # One check per distinct running generation, not per node.
+        running: dict[str, tuple[Generation, list[str]]] = {}
+        for name in names:
+            gen = self.nodes[name].current
+            if gen is None or gen.sha == key:
+                continue
+            running.setdefault(gen.sha, (gen, []))[1].append(name)
+        blockers: list[str] = []
+        for gen_sha in sorted(running):
+            gen, on_nodes = running[gen_sha]
+            try:
+                old_key, old_info = cache.frontend(
+                    gen.source, gen.source_name or "<running>")
+                old_summary = cache.wire(old_key, old_info)
+            except Exception:
+                continue
+            report = check_compatible(old_summary, new_summary)
+            rollout.wire_verdicts[gen_sha[:12]] = report.describe()
+            if not report.ok:
+                detail = report.describe()
+                blockers.append(
+                    f"vs {gen_sha[:12]} on {len(on_nodes)} node(s): "
+                    f"{detail}")
+                self._emit("rollout", action="veto",
+                           rollout=rollout.number, sha=rollout.sha[:12],
+                           against=gen_sha[:12], nodes=len(on_nodes),
+                           verdict=detail)
+        return blockers
 
     def _begin_health_window(self, rollout: Rollout) -> None:
         rollout.baseline = {
@@ -594,13 +682,32 @@ class LifecycleManager:
                  reason: str = "operator") -> list[str]:
         """Roll every node running generation ``sha`` (default: its
         newest generation) back to the one before it.  Returns the
-        nodes rolled back."""
+        nodes rolled back.
+
+        A ``sha`` absent from a node's history skips that node with a
+        ``rollback``/``skip`` event; absent from *every* node's
+        history, the call is a clean audited no-op (never an exception
+        mid-fleet).
+        """
         if sha is not None:
             names = [name for name, nl in self.nodes.items()
                      if (nl.current is not None
                          and nl.current.sha == sha)
                      or (nl.quarantined and nl.generations
                          and nl.generations[-1].sha == sha)]
+            if not names:
+                self._emit("rollback", action="skip", sha=sha[:12],
+                           node="", nodes=0,
+                           reason="no managed node runs this "
+                                  "generation")
+                return []
+            for name in sorted(set(self.nodes) - set(names)):
+                nl = self.nodes[name]
+                self._emit("rollback", action="skip", sha=sha[:12],
+                           node=name,
+                           current=(nl.current.sha[:12]
+                                    if nl.current is not None else ""),
+                           reason="generation not running here")
         else:
             names = [name for name, nl in self.nodes.items()
                      if len(nl.generations) > 1]
@@ -644,7 +751,24 @@ class LifecycleManager:
             nl.generations.pop()
             nl.rolled_back.append(bad)
             prev = nl.generations[-1]
-            self._restore(nl, prev)
+            try:
+                self._restore(nl, prev)
+            except Exception as exc:  # noqa: BLE001 — never raise mid-fleet
+                # Contain the failure to this node: revert it to
+                # standard IP with a truthful (emptied) history and
+                # keep rolling the rest of the fleet.
+                nl.rolled_back.extend(reversed(nl.generations))
+                nl.generations.clear()
+                nl.layer.uninstall()
+                nl.layer.quarantined = False
+                nl.quarantined = False
+                nl.breaker.close()
+                self._emit("rollback", action="node-failed", node=name,
+                           from_generation=bad.number,
+                           to_generation=prev.number,
+                           error=f"{type(exc).__name__}: {exc}",
+                           reason=reason)
+                continue
             nl.quarantined = False
             nl.breaker.close()
             self._emit("rollback", action="node", node=name,

@@ -7,6 +7,7 @@
     python -m repro.tools.obsdump mpeg --quick
     python -m repro.tools.obsdump microbench
     python -m repro.tools.obsdump chaos --lifecycle
+    python -m repro.tools.obsdump upgrade --lifecycle
     python -m repro.tools.obsdump fuzz --quick
 
 Each mode runs one scenario and dumps its metrics snapshot as sorted
@@ -21,9 +22,12 @@ scripted link flap — so every event kind (``deploy``, ``drop``,
 ``fault``, ``jit``) shows up in one run.
 
 ``chaos`` runs the poisoned-ASP lifecycle drill (rollouts, breaker
-trips, quarantine, automatic rollback); combined with ``--lifecycle``
-it prints the per-node lifecycle summary — rollout generations, trips,
-and rollbacks folded from the event log — instead of raw metrics.
+trips, quarantine, automatic rollback); ``upgrade`` runs the
+rolling-upgrade drill (a wire-incompatible generation vetoed before
+its canary window, a compatible one promoted).  Combined with
+``--lifecycle`` either prints the per-node lifecycle summary —
+rollout generations, vetoes, trips, and rollbacks folded from the
+event log — instead of raw metrics.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ import sys
 from ..obs import GLOBAL
 
 MODES = ("demo", "audio", "http", "images", "mpeg", "microbench",
-         "chaos", "fuzz")
+         "chaos", "upgrade", "fuzz")
 
 
 # ---------------------------------------------------------------------------
@@ -123,12 +127,27 @@ def _run_chaos(quick: bool) -> tuple[dict, list]:
     return result.metrics, events
 
 
+def _run_upgrade(quick: bool) -> tuple[dict, list]:
+    """The rolling-upgrade drill: wire-compat veto + promotion, with
+    its full event log (the CI veto/rollout artifact)."""
+    from ..experiments.upgrade import run_upgrade_experiment
+    from ..obs import Observability
+
+    obs = Observability()
+    result = run_upgrade_experiment(n_routers=4 if quick else 16,
+                                    duration=8.0, seed=5, obs=obs)
+    events = [record.to_dict() for record in obs.events.filter()]
+    return result.metrics, events
+
+
 def lifecycle_summary(events: list[dict]) -> dict:
     """Fold an event list into the ``--lifecycle`` view: rollout
-    totals, plus per-node installs, breaker trips, half-opens, closes,
+    totals (including wire-compatibility vetoes with their verdicts),
+    plus per-node installs, breaker trips, half-opens, closes,
     rollbacks, and the generation each node ended on."""
     totals = {"rollouts": 0, "promoted": 0, "aborted": 0,
-              "fleet_rollbacks": 0}
+              "vetoed": 0, "fleet_rollbacks": 0, "rollback_skips": 0}
+    vetoes: list[dict] = []
     nodes: dict[str, dict] = {}
 
     def node(name: str) -> dict:
@@ -148,6 +167,15 @@ def lifecycle_summary(events: list[dict]) -> dict:
                 totals["promoted"] += 1
             elif action == "abort":
                 totals["aborted"] += 1
+            elif action == "veto":
+                totals["vetoed"] += 1
+                vetoes.append({
+                    "rollout": event.get("rollout"),
+                    "sha": event.get("sha"),
+                    "against": event.get("against"),
+                    "nodes": event.get("nodes"),
+                    "verdict": event.get("verdict"),
+                })
         elif kind == "quarantine":
             key = {"trip": "trips", "half-open": "half_opens",
                    "close": "closes"}.get(action)
@@ -156,11 +184,14 @@ def lifecycle_summary(events: list[dict]) -> dict:
         elif kind == "rollback":
             if action == "start":
                 totals["fleet_rollbacks"] += 1
+            elif action == "skip":
+                totals["rollback_skips"] += 1
             elif action == "node":
                 entry = node(event["node"])
                 entry["rollbacks"] += 1
                 entry["generation"] = event.get("to_generation")
     return {"totals": totals,
+            "vetoes": vetoes,
             "nodes": {name: nodes[name] for name in sorted(nodes)}}
 
 
@@ -218,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
         show_events = args.events
     elif args.mode == "chaos":
         metrics, events = _run_chaos(args.quick)
+        show_events = args.events
+    elif args.mode == "upgrade":
+        metrics, events = _run_upgrade(args.quick)
         show_events = args.events
     elif args.mode == "fuzz":
         metrics, events = _run_fuzz(args.quick)

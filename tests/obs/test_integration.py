@@ -231,14 +231,27 @@ class TestLifecycleSummary:
         {"kind": "deploy", "action": "restore", "node": "r0"},
         {"kind": "rollout", "action": "stage"},
         {"kind": "rollout", "action": "promote"},
+        {"kind": "rollout", "action": "stage"},
+        {"kind": "rollout", "action": "veto", "rollout": 3,
+         "sha": "abc123", "against": "def456", "nodes": 2,
+         "verdict": "incompatible: [field-layout-changed] ..."},
+        {"kind": "rollback", "action": "skip", "sha": "abc123",
+         "node": "", "nodes": 0,
+         "reason": "no managed node runs this generation"},
     ]
 
     def test_fold(self):
         from repro.tools.obsdump import lifecycle_summary
 
         summary = lifecycle_summary(self.EVENTS)
-        assert summary["totals"] == {"rollouts": 2, "promoted": 1,
-                                     "aborted": 1, "fleet_rollbacks": 1}
+        assert summary["totals"] == {"rollouts": 3, "promoted": 1,
+                                     "aborted": 1, "vetoed": 1,
+                                     "fleet_rollbacks": 1,
+                                     "rollback_skips": 1}
+        assert summary["vetoes"] == [{
+            "rollout": 3, "sha": "abc123", "against": "def456",
+            "nodes": 2,
+            "verdict": "incompatible: [field-layout-changed] ..."}]
         assert summary["nodes"]["r0"] == {
             "installs": 2, "trips": 1, "half_opens": 0, "closes": 0,
             "rollbacks": 1, "generation": 1}

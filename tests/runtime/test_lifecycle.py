@@ -194,7 +194,8 @@ class TestBreakerWindowProperties:
     def test_trip_point_matches_brute_force(self, times, budget,
                                             window):
         """The breaker trips at exactly the first error whose trailing
-        (t - window, t] interval holds more than budget errors."""
+        closed [t - window, t] interval holds more than budget errors
+        (the docstring's promised inclusive window)."""
         times = sorted(times)
         now = [0.0]
         breaker = CircuitBreaker(budget=budget, window=window,
@@ -202,7 +203,7 @@ class TestBreakerWindowProperties:
         expected = None
         for i, t in enumerate(times):
             in_window = sum(1 for u in times[:i + 1]
-                            if t - window < u <= t)
+                            if t - window <= u <= t)
             if in_window > budget:
                 expected = i
                 break
@@ -213,6 +214,41 @@ class TestBreakerWindowProperties:
                 actual = i
                 break
         assert actual == expected
+
+    @given(budget=st.integers(min_value=1, max_value=6),
+           window=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0, 8.0]),
+           start=st.sampled_from([0.0, 1.0, 2.5, 10.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_exactly_window_old_still_counts(self, budget,
+                                                   window, start):
+        """The exact-boundary bug: ``budget`` errors at ``t`` plus one
+        at exactly ``t + window`` is budget+1 errors inside the closed
+        window, so it must trip (the sampled floats make the boundary
+        arithmetic exact)."""
+        now = [start]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=1, clock=lambda: now[0])
+        for _ in range(budget):
+            assert breaker.record_error() is False
+        now[0] = start + window  # exactly window seconds later
+        assert breaker.record_error() is True
+        assert breaker.state is BreakerState.OPEN
+
+    @given(budget=st.integers(min_value=1, max_value=6),
+           window=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0, 8.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_just_past_window_expires(self, budget, window):
+        """One float tick past the boundary the old errors age out, so
+        the same sequence must NOT trip."""
+        import math
+        now = [0.0]
+        breaker = CircuitBreaker(budget=budget, window=window,
+                                 probation=1, clock=lambda: now[0])
+        for _ in range(budget):
+            assert breaker.record_error() is False
+        now[0] = math.nextafter(window, math.inf)
+        assert breaker.record_error() is False
+        assert breaker.state is BreakerState.CLOSED
 
 
 # ---------------------------------------------------------------------------
@@ -425,6 +461,152 @@ class TestQuarantine:
         # Generation 1 resumes exactly where it left off.
         assert layer.protocol_state == processed
         assert layer.loaded.source_sha == ProgramCache.digest(GOOD)
+
+
+# ---------------------------------------------------------------------------
+# wire-compatibility veto gate
+# ---------------------------------------------------------------------------
+
+#: Same transport, but a 4-byte int field inserted before the tail —
+#: overlapping admission with a different layout, so gen-1 and gen-2
+#: nodes would misread each other's packets.
+INCOMPAT = ("channel network(ps : int, ss : unit, p : ip*udp*int*blob)"
+            " is (OnRemote(network, p); (ps + 1, ss))")
+
+
+class TestWireVeto:
+    def test_incompatible_rollout_vetoed_before_canary(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True, source_name="v1")
+        rollout = manager.rollout(INCOMPAT, routers, source_name="v2")
+        assert rollout.state is RolloutState.ABORTED
+        assert rollout.reason.startswith("wire-incompatible:")
+        assert manager.vetoes == 1
+        # Vetoed before any install: every node still runs gen 1 and
+        # never saw the candidate.
+        for r in routers:
+            nl = manager.of(r)
+            assert len(nl.generations) == 1
+            assert nl.current.sha != rollout.sha
+        assert rollout.wire_verdicts  # one verdict per running gen
+        actions = [e.data.get("action")
+                   for e in net.obs.events.filter(kind="rollout")]
+        assert "veto" in actions
+        assert "canary" not in actions
+
+    def test_veto_event_carries_verdict(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        manager.rollout(INCOMPAT, routers)
+        (veto,) = [e for e in net.obs.events.filter(kind="rollout")
+                   if e.data.get("action") == "veto"]
+        assert "incompatible" in veto.data["verdict"]
+        assert veto.data["nodes"] == 2
+
+    def test_force_overrides_veto(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        rollout = manager.rollout(INCOMPAT, routers, force=True)
+        assert rollout.state is RolloutState.PROMOTED
+        assert manager.vetoes == 0
+        assert all(manager.of(r).current.sha == rollout.sha
+                   for r in routers)
+
+    def test_policy_can_disable_wire_check(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers, wire_check=False)
+        manager.rollout(GOOD, routers, force=True)
+        rollout = manager.rollout(INCOMPAT, routers)
+        assert rollout.state is RolloutState.CANARY
+        assert manager.vetoes == 0
+
+    def test_compatible_rollout_proceeds_to_canary(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        rollout = manager.rollout(GOOD_V2, routers)
+        assert rollout.state is RolloutState.CANARY
+        assert rollout.wire_verdicts == {
+            ProgramCache.digest(GOOD)[:12]: "compatible"}
+        assert manager.vetoes == 0
+
+    def test_empty_fleet_first_install_is_not_checked(self):
+        net, src, routers, dst = chain_net(4)
+        manager = manager_for(net, routers)
+        rollout = manager.rollout(GOOD, routers)
+        assert rollout.state is RolloutState.CANARY
+        assert rollout.wire_verdicts == {}
+
+
+# ---------------------------------------------------------------------------
+# rollback(sha) audit: absent generations, contained restore failures
+# ---------------------------------------------------------------------------
+
+
+class TestRollbackAudit:
+    def test_sha_absent_everywhere_is_clean_noop(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        rolled = manager.rollback("0" * 64, reason="operator")
+        assert rolled == []
+        good_sha = ProgramCache.digest(GOOD)
+        assert all(manager.of(r).current.sha == good_sha
+                   for r in routers)
+        skips = [e for e in net.obs.events.filter(kind="rollback")
+                 if e.data.get("action") == "skip"]
+        assert len(skips) == 1
+        assert skips[0].data["nodes"] == 0
+
+    def test_sha_absent_on_one_node_skips_it(self):
+        net, src, routers, dst = chain_net(2)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        manager.rollout(GOOD_V2, [routers[0]], force=True)
+        v2_sha = ProgramCache.digest(GOOD_V2)
+        rolled = manager.rollback(v2_sha, reason="operator")
+        assert rolled == ["r0"]
+        good_sha = ProgramCache.digest(GOOD)
+        assert manager.of("r0").current.sha == good_sha
+        assert manager.of("r1").current.sha == good_sha
+        assert len(manager.of("r1").generations) == 1  # untouched
+        skips = [e for e in net.obs.events.filter(kind="rollback")
+                 if e.data.get("action") == "skip"]
+        assert [e.node for e in skips] == ["r1"]
+        assert skips[0].data["current"] == good_sha[:12]
+
+    def test_restore_failure_contained_per_node(self, monkeypatch):
+        net, src, routers, dst = chain_net(3)
+        manager = manager_for(net, routers)
+        manager.rollout(GOOD, routers, force=True)
+        manager.rollout(GOOD_V2, routers, force=True)
+        original = LifecycleManager._restore
+
+        def failing(self, nl, gen):
+            if nl.node.name == "r1":
+                raise RuntimeError("disk on fire")
+            return original(self, nl, gen)
+
+        monkeypatch.setattr(LifecycleManager, "_restore", failing)
+        rolled = manager.rollback(reason="operator")
+        # The failing node is contained; the rest of the fleet rolls.
+        assert rolled == ["r0", "r2"]
+        good_sha = ProgramCache.digest(GOOD)
+        assert manager.of("r0").current.sha == good_sha
+        assert manager.of("r2").current.sha == good_sha
+        # The failed node reverted to standard IP with an emptied,
+        # audited history — no half-rolled mixed state.
+        nl = manager.of("r1")
+        assert nl.current is None
+        assert nl.layer.loaded is None
+        assert not nl.quarantined
+        failures = [e for e in net.obs.events.filter(kind="rollback")
+                    if e.data.get("action") == "node-failed"]
+        assert [e.node for e in failures] == ["r1"]
+        assert "disk on fire" in failures[0].data["error"]
 
 
 # ---------------------------------------------------------------------------
