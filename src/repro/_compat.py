@@ -1,0 +1,75 @@
+"""Dependency-free signature-compat shims.
+
+Lives at the package root (rather than in :mod:`repro.experiments.compat`,
+which re-exports these) so that core modules like :mod:`repro.net.sim`
+can use them without importing the experiments package — which itself
+imports the net package.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable
+
+
+def keyword_only(*names: str) -> Callable:
+    """Wrap a keyword-only function so legacy positional calls still
+    work: positional arguments map onto ``names`` in order, with a
+    :class:`DeprecationWarning` telling the caller the keyword form.
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if args:
+                if len(args) > len(names):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most {len(names)} "
+                        f"positional arguments ({len(args)} given)")
+                mapped = dict(zip(names, args))
+                clash = set(mapped) & set(kwargs)
+                if clash:
+                    raise TypeError(
+                        f"{fn.__name__}() got multiple values for "
+                        f"{sorted(clash)}")
+                warnings.warn(
+                    f"positional arguments to {fn.__name__}() are "
+                    f"deprecated; pass "
+                    f"{', '.join(f'{k}=...' for k in mapped)} as "
+                    f"keywords", DeprecationWarning, stacklevel=2)
+                kwargs.update(mapped)
+            return fn(**kwargs)
+        return wrapper
+    return decorate
+
+
+def keyword_only_init(*names: str) -> Callable:
+    """:func:`keyword_only` for methods — ``self`` (or ``cls``) passes
+    through, remaining positional arguments map onto ``names`` with a
+    :class:`DeprecationWarning`.  Used by ``Simulator.__init__`` and
+    ``Network.__init__`` so legacy ``Simulator(7)`` calls keep working
+    for one release.
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if args:
+                if len(args) > len(names):
+                    raise TypeError(
+                        f"{fn.__qualname__}() takes at most {len(names)} "
+                        f"positional arguments ({len(args)} given)")
+                mapped = dict(zip(names, args))
+                clash = set(mapped) & set(kwargs)
+                if clash:
+                    raise TypeError(
+                        f"{fn.__qualname__}() got multiple values for "
+                        f"{sorted(clash)}")
+                warnings.warn(
+                    f"positional arguments to {fn.__qualname__}() are "
+                    f"deprecated; pass "
+                    f"{', '.join(f'{k}=...' for k in mapped)} as "
+                    f"keywords", DeprecationWarning, stacklevel=2)
+                kwargs.update(mapped)
+            return fn(self, **kwargs)
+        return wrapper
+    return decorate

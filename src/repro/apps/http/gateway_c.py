@@ -100,4 +100,4 @@ class BuiltinGateway:
             return self.counter % len(self.servers)
         if self.strategy == "srchash":
             return header.src_port % len(self.servers)
-        return self.node.sim.rng.randrange(len(self.servers))
+        return self.node.entropy.randrange(len(self.servers))

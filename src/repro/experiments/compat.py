@@ -10,40 +10,14 @@ simulated seconds, plus the uniform instrumentation pair ``obs`` (an
 before traffic starts).  The pre-1.1 positional call forms still work
 for one release, via :func:`keyword_only`, but emit a
 ``DeprecationWarning`` naming the keyword to use.
+
+The implementations live in :mod:`repro._compat` (dependency-free, so
+core modules can use them without importing this package); this module
+re-exports them under their historical home.
 """
 
 from __future__ import annotations
 
-import functools
-import warnings
-from typing import Callable
+from .._compat import keyword_only, keyword_only_init
 
-
-def keyword_only(*names: str) -> Callable:
-    """Wrap a keyword-only function so legacy positional calls still
-    work: positional arguments map onto ``names`` in order, with a
-    :class:`DeprecationWarning` telling the caller the keyword form.
-    """
-    def decorate(fn: Callable) -> Callable:
-        @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
-            if args:
-                if len(args) > len(names):
-                    raise TypeError(
-                        f"{fn.__name__}() takes at most {len(names)} "
-                        f"positional arguments ({len(args)} given)")
-                mapped = dict(zip(names, args))
-                clash = set(mapped) & set(kwargs)
-                if clash:
-                    raise TypeError(
-                        f"{fn.__name__}() got multiple values for "
-                        f"{sorted(clash)}")
-                warnings.warn(
-                    f"positional arguments to {fn.__name__}() are "
-                    f"deprecated; pass "
-                    f"{', '.join(f'{k}=...' for k in mapped)} as "
-                    f"keywords", DeprecationWarning, stacklevel=2)
-                kwargs.update(mapped)
-            return fn(**kwargs)
-        return wrapper
-    return decorate
+__all__ = ["keyword_only", "keyword_only_init"]

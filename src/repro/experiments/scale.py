@@ -1,0 +1,273 @@
+"""The sharded-core scale experiment: a ring of router clusters.
+
+This is the workload behind ``benchmarks/test_scale.py`` and the
+``shard_segments`` knob (DESIGN §13): ``n_clusters`` routers form a
+ring with ``ring_latency`` propagation delay; each router serves
+``hosts_per_cluster - 1`` leaf hosts over fast LAN links.  Hosts send
+UDP datagrams mostly to a sibling in their own cluster, with every
+``cross_every``-th datagram going to the same-index host in the *next*
+cluster around the ring — so partitioning by cluster cuts only ring
+links (the lookahead is ``ring_latency``) and cross-segment traffic
+exercises the boundary protocol without flooding it.
+
+Routing is installed manually (``finalize(compute_routes=False)``):
+all-pairs shortest paths are O(N²) and pointless for a topology this
+regular.  Hosts default-route to their cluster router; routers hold
+one route per local host and default clockwise around the ring.  No
+datagram travels more than one ring hop, so the default TTL is never
+at risk.
+
+The same builder serves three execution modes — serial, in-process
+sharded (:class:`~repro.net.shard.ShardRunner`), and one process per
+segment (:mod:`~repro.net.shard_proc`).  Serial and in-process runs
+produce byte-identical records; process runs reproduce the identical
+delivery stream and figures but merge a reduced metrics view (see
+``shard_proc``), so record-level comparisons should use the in-process
+driver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..net.node import Host, Node
+from ..net.topology import Network
+from .result import ExperimentResult
+
+#: the UDP port every scale host listens on
+SCALE_PORT = 4000
+
+
+class ScaleResult(ExperimentResult):
+    _EXPERIMENT = "scale"
+    #: execution-strategy outputs: real, but not part of the record
+    #: (a serial run and a sharded run of the same scenario must
+    #: produce the same record)
+    _VOLATILE_FIGURES = ("segments", "driver", "windows")
+
+
+@dataclass
+class _ScaleState:
+    """Per-run harvest attached to the network as ``scale_state``."""
+
+    #: (event key, receiver, src addr, payload) per delivered datagram
+    deliveries: list[tuple] = field(default_factory=list)
+    sent: int = 0
+
+
+def _cluster_of(name: str) -> int:
+    # node names are "c<cluster>r" / "c<cluster>h<idx>"
+    digits = []
+    for ch in name[1:]:
+        if not ch.isdigit():
+            break
+        digits.append(ch)
+    return int("".join(digits))
+
+
+def build_scale_net(*, params: dict, seed: int,
+                    shard_segments: int = 1) -> Network:
+    """Build the ring-of-clusters topology and schedule its traffic.
+
+    Top-level and a pure function of ``(params, seed,
+    shard_segments)``, so :func:`repro.net.shard_proc
+    .run_sharded_processes` can replicate it in every worker by
+    reference (``"repro.experiments.scale:build_scale_net"``).
+    """
+    n_clusters = int(params.get("n_clusters", 8))
+    hosts_per_cluster = int(params.get("hosts_per_cluster", 4))
+    packets_per_host = int(params.get("packets_per_host", 6))
+    interval = float(params.get("interval", 0.02))
+    cross_every = int(params.get("cross_every", 4))
+    lan_latency = float(params.get("lan_latency", 0.001))
+    ring_latency = float(params.get("ring_latency", 0.01))
+    ring_queue = int(params.get("ring_queue", 256))
+    bandwidth = float(params.get("bandwidth", 100e6))
+    payload_bytes = int(params.get("payload_bytes", 64))
+    warmup = float(params.get("warmup", 0.05))
+    if n_clusters < 2 or hosts_per_cluster < 2:
+        raise ValueError("scale topology needs >= 2 clusters of >= 2 "
+                         "hosts (host 0 of each cluster is the router)")
+    if shard_segments > n_clusters:
+        raise ValueError("cannot shard finer than one cluster per "
+                         "segment")
+
+    def shard_of(node: Node) -> int:
+        return min(_cluster_of(node.name) * shard_segments // n_clusters,
+                   shard_segments - 1)
+
+    net = Network(seed=seed, name="scale",
+                  shard_segments=shard_segments,
+                  shard_of=shard_of if shard_segments > 1 else None)
+
+    # -- topology: clusters in construction order, so the partition is
+    # contiguous clusters and only ring links are cut
+    routers = []
+    hosts: list[list[Host]] = []
+    host_ifaces = {}  # router-side iface per host, for manual routes
+    for c in range(n_clusters):
+        router = net.add_router(f"c{c}r")
+        routers.append(router)
+        members = []
+        for h in range(hosts_per_cluster - 1):
+            host = net.add_host(f"c{c}h{h}")
+            link = net.link(router, host, bandwidth=bandwidth,
+                            latency=lan_latency)
+            host_ifaces[host.name] = next(
+                i for i in link.interfaces if i.node is router)
+            members.append(host)
+        hosts.append(members)
+    ring_ifaces = {}  # clockwise iface per router
+    for c in range(n_clusters):
+        nxt = routers[(c + 1) % n_clusters]
+        ring = net.link(routers[c], nxt, bandwidth=bandwidth,
+                        latency=ring_latency, queue_limit=ring_queue)
+        ring_ifaces[c] = next(
+            i for i in ring.interfaces if i.node is routers[c])
+    net.finalize(compute_routes=False)
+
+    # -- manual hierarchical routes (see module docstring)
+    for members in hosts:
+        for host in members:
+            host.routes.set_default(host.interfaces[0])
+    for c, router in enumerate(routers):
+        for host in hosts[c]:
+            router.routes.add_route(host.address,
+                                    host_ifaces[host.name])
+        router.routes.set_default(ring_ifaces[c])
+
+    # -- traffic, harvested through per-host delivery recorders
+    state = _ScaleState()
+    net.scale_state = state
+    for c in range(n_clusters):
+        for h, host in enumerate(hosts[c]):
+            sock = net.udp(host).bind(SCALE_PORT)
+
+            def on_datagram(payload, src, src_port, *, host=host):
+                state.deliveries.append(
+                    (host.sim.current_event_key, host.name, str(src),
+                     payload))
+
+            sock.on_datagram = on_datagram
+
+            n_local = len(hosts[c])
+            for k in range(packets_per_host):
+                # stagger which tick is the cross tick by host index,
+                # so a cluster's ring uplink is not hit by every host
+                # at once
+                if cross_every and (k + h) % cross_every == 0:
+                    dst = hosts[(c + 1) % n_clusters][h]
+                else:
+                    dst = hosts[c][(h + 1) % n_local]
+                payload = (f"{host.name}:{k}".encode()
+                           .ljust(payload_bytes, b"."))
+
+                def send(*, sock=sock, dst_addr=dst.address,
+                         payload=payload):
+                    sock.sendto(dst_addr, SCALE_PORT, payload)
+                    state.sent += 1
+
+                # scheduled on the host's own simulator under the
+                # host's context: the event key — and, in process mode,
+                # the owning worker — is the host's, whichever segment
+                # it lands in
+                host.sim.at(warmup + k * interval, send,
+                            context=host.ctx)
+    return net
+
+
+def collect_scale(net: Network, owned: set[str]) -> dict[str, Any]:
+    """Worker-side harvest for process-sharded runs (referenced as
+    ``"repro.experiments.scale:collect_scale"``)."""
+    state = net.scale_state
+    return {
+        "deliveries": [d for d in state.deliveries if d[1] in owned],
+        "sent": state.sent,
+    }
+
+
+def scale_until(params: dict) -> float:
+    """When the run ends — a pure function of params, so every
+    execution mode and every worker agrees."""
+    packets = int(params.get("packets_per_host", 6))
+    interval = float(params.get("interval", 0.02))
+    warmup = float(params.get("warmup", 0.05))
+    return warmup + packets * interval + 0.5
+
+
+def delivery_stream_sha256(deliveries: list[tuple]) -> str:
+    """One hash over the key-sorted delivery stream.
+
+    Sorting by event key reproduces the serial observation order
+    exactly (the keys are a pure function of topology and seed), so
+    equal hashes mean every datagram arrived at the same host at the
+    same event, with the same payload, in every execution mode.
+    """
+    digest = hashlib.sha256()
+    for (t, lp, lseq), name, src, payload in sorted(deliveries):
+        digest.update(f"{t!r}/{lp}/{lseq} {name} {src} ".encode())
+        digest.update(payload)
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def run_scale_experiment(*, seed: int = 0, shard_segments: int = 1,
+                         driver: str = "inline",
+                         **params: Any) -> ScaleResult:
+    """Run the scale workload and summarize it.
+
+    ``shard_segments`` / ``driver`` pick the execution strategy:
+    ``inline`` runs serially (1 segment) or via the in-process
+    :class:`~repro.net.shard.ShardRunner`; ``process`` runs one OS
+    process per segment.  The strategy shows up only in the volatile
+    figures — the record is identical whichever produced it (process
+    mode: identical figures over a reduced metrics view).
+    """
+    until = scale_until(params)
+    if driver == "process" and shard_segments > 1:
+        from ..net.shard_proc import run_sharded_processes
+
+        report = run_sharded_processes(
+            "repro.experiments.scale:build_scale_net", params=params,
+            seed=seed, segments=shard_segments, until=until,
+            collect="repro.experiments.scale:collect_scale")
+        deliveries = [d for got in report.collected
+                      for d in got["deliveries"]]
+        sent = sum(got["sent"] for got in report.collected)
+        metrics = report.metrics
+        windows = report.windows
+        nodes = sum(1 for key in metrics if key.startswith("node.")
+                    and key.endswith(".delivered"))
+    elif driver not in ("inline", "process"):
+        raise ValueError(f"unknown scale driver {driver!r}")
+    else:
+        net = build_scale_net(params=params, seed=seed,
+                              shard_segments=shard_segments)
+        net.run(until=until)
+        state = net.scale_state
+        deliveries, sent = state.deliveries, state.sent
+        metrics = net.metrics_snapshot()
+        windows = net._shard.windows if net._shard is not None else 0
+        nodes = len(net.nodes)
+    forwarded = sum(value for key, value in metrics.items()
+                    if key.startswith("node.")
+                    and key.endswith(".forwarded")
+                    and isinstance(value, (int, float)))
+    return ScaleResult(
+        name="scale", seed=seed,
+        params={key: params[key] for key in sorted(params)},
+        metrics=metrics,
+        figures={
+            "nodes": nodes,
+            "sent": sent,
+            "delivered": len(deliveries),
+            "forwarded": int(forwarded),
+            "events": metrics.get("sim.events_processed"),
+            "delivery_sha256": delivery_stream_sha256(deliveries),
+            # volatile (execution strategy, not measurement):
+            "segments": shard_segments,
+            "driver": driver,
+            "windows": windows,
+        })

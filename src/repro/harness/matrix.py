@@ -87,6 +87,15 @@ def standard_matrix() -> list[Scenario]:
     scenarios.append(Scenario(
         "standard/images", "images", {"distillation": True}, seed=31,
         tags=frozenset({"standard", "images"})))
+    # the sharded core, exercised through the harness: same workload
+    # serial and partitioned — their records must agree byte-for-byte
+    # (test_harness_determinism covers the cache/report contract)
+    for segments in (1, 4):
+        scenarios.append(Scenario(
+            f"standard/scale-x{segments}", "scale",
+            {"n_clusters": 16, "hosts_per_cluster": 8,
+             "packets_per_host": 8, "shard_segments": segments},
+            seed=5, tags=frozenset({"standard", "scale"})))
     return scenarios
 
 
@@ -114,6 +123,10 @@ def smoke_matrix() -> list[Scenario]:
                  seed=23, tags=tags("mpeg")),
         Scenario("smoke/images", "images", {"distillation": True},
                  seed=31, tags=tags("images")),
+        Scenario("smoke/scale-sharded", "scale",
+                 {"n_clusters": 4, "hosts_per_cluster": 3,
+                  "packets_per_host": 4, "shard_segments": 2},
+                 seed=5, tags=tags("scale")),
         Scenario("smoke/microbench-closure", "microbench",
                  {"engine": "closure", "n_packets": 2_000}, seed=0,
                  tags=tags("microbench")),

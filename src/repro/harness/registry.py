@@ -90,6 +90,7 @@ def _register_all() -> None:
     from ..experiments.fig3 import Fig3Result, fig3_codegen_table
     from ..experiments.microbench import (MicrobenchResult,
                                           run_engine_microbench)
+    from ..experiments.scale import ScaleResult, run_scale_experiment
 
     register("audio", result_cls=AudioExperimentResult,
              description="figure 5/6 audio adaptation run"
@@ -151,6 +152,12 @@ def _register_all() -> None:
     register("chaos", result_cls=ChaosResult,
              description="lifecycle/fault chaos drill (one profile)"
              )(lambda *, seed, **p: run_chaos_experiment(seed=seed,
+                                                         **p))
+
+    register("scale", result_cls=ScaleResult,
+             description="sharded-core ring-of-clusters scale run "
+                         "(shard_segments picks the partition)"
+             )(lambda *, seed, **p: run_scale_experiment(seed=seed,
                                                          **p))
 
     register("upgrade", result_cls=UpgradeResult,

@@ -77,7 +77,10 @@ class AddressAllocator:
     """Hands out unique host addresses within a /24-style prefix.
 
     Used by topology builders so tests and experiments get stable,
-    readable addresses (10.0.<net>.<host>).
+    readable addresses (10.0.<net>.<host>).  Subnet ids are 16-bit and
+    roll into the second octet past 255 (10.<net-hi>.<net-lo>.<host>),
+    so one allocator covers the sharded-core scale topologies — 10k+
+    nodes means 10k+ point-to-point subnets.
     """
 
     def __init__(self, base: str | int = "10.0.0.0"):
@@ -86,10 +89,11 @@ class AddressAllocator:
         self._next_host: dict[int, int] = {}
 
     def new_subnet(self) -> int:
-        """Reserve a fresh /24 subnet id."""
+        """Reserve a fresh /16-addressable subnet id."""
         self._next_net += 1
-        if self._next_net > 255:
-            raise RuntimeError("address allocator exhausted (255 subnets)")
+        if self._next_net > 0xFFFF:
+            raise RuntimeError("address allocator exhausted "
+                               "(65535 subnets)")
         self._next_host[self._next_net] = 0
         return self._next_net
 

@@ -37,7 +37,7 @@ class _TxQueue:
     def __init__(self, sim: Simulator, bandwidth_bps: float,
                  latency: float, queue_limit: int,
                  deliver: Callable[[Packet, "Interface"], None],
-                 loss_rate: float = 0.0):
+                 loss_rate: float = 0.0, name: str = "txq"):
         self._sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.latency = latency
@@ -52,6 +52,20 @@ class _TxQueue:
         self.send_taps: list[Callable[[Packet, "Interface"], None]] = []
         self.drop_taps: list[
             Callable[[Packet, "Interface", str], None]] = []
+        #: this direction's scheduling context: transmission-complete
+        #: and delivery events are attributed here, and loss draws come
+        #: from its entropy stream — both per-queue, so keys and draws
+        #: don't depend on other traffic (or on sharding)
+        self.ctx = sim.context(name)
+        #: cross-segment hook, installed by :mod:`repro.net.shard` when
+        #: this queue's receiving end lives on a different segment
+        #: simulator: called with ``(packet, sender, arrival, lp, lseq)``
+        #: instead of scheduling the delivery locally.  The ``(lp,
+        #: lseq)`` pair is drawn from :attr:`ctx` exactly as the local
+        #: path would, so the far side can enqueue the delivery under
+        #: the key a single-queue run would have used.
+        self.boundary_emit: Callable[
+            [Packet, "Interface", float, int, int], None] | None = None
 
     def _dropped(self, packet: Packet, sender: "Interface",
                  reason: str) -> None:
@@ -108,19 +122,25 @@ class _TxQueue:
             # medium was occupied (collisions still consume airtime).
             # A medium that went down mid-transmission loses the frame.
             if not self.up or (self.loss_rate > 0.0
-                               and self._sim.rng.random() < self.loss_rate):
+                               and self.ctx.entropy.random()
+                               < self.loss_rate):
                 self.stats.packets_lost += 1
                 self.stats.bytes_lost += packet.size
                 if self.drop_taps:
                     for tap in self.drop_taps:
                         tap(packet, sender, "loss")
+            elif self.boundary_emit is not None:
+                self.boundary_emit(packet, sender,
+                                   self._sim.now + self.latency,
+                                   self.ctx.lp, self.ctx.next_lseq())
             else:
                 self._sim.schedule(
                     self.latency,
-                    lambda: self._deliver(packet, sender))
+                    lambda: self._deliver(packet, sender),
+                    context=self.ctx)
             self._transmit_next()
 
-        self._sim.schedule(tx_delay, done)
+        self._sim.schedule(tx_delay, done, context=self.ctx)
 
     def queue_length(self) -> int:
         return len(self._queue) + (1 if self._busy else 0)
@@ -149,7 +169,8 @@ class Link:
         bandwidth, latency, queue_limit, loss = self._config
         self._tx[id(iface)] = _TxQueue(
             self._sim, bandwidth, latency, queue_limit,
-            self._deliver_from(iface), loss)
+            self._deliver_from(iface), loss,
+            name=f"tx:{self.name or 'link'}:{iface.node.name}")
 
     def _deliver_from(self, sender: "Interface"):
         def deliver(packet: Packet, _sender: "Interface") -> None:
@@ -180,6 +201,15 @@ class Link:
             if other is not iface:
                 return other
         raise RuntimeError("link has no other end attached")
+
+    def deliver_opposite(self, sender: "Interface",
+                         packet: Packet) -> None:
+        """Deliver ``packet`` to the end(s) opposite ``sender`` — the
+        receiving half of a transmission whose propagation crossed a
+        segment boundary (see :mod:`repro.net.shard`)."""
+        for iface in self._ifaces:
+            if iface is not sender:
+                iface.receive(packet)
 
     def tx_queue(self, sender: "Interface") -> _TxQueue:
         return self._tx[id(sender)]
@@ -234,7 +264,8 @@ class Segment:
         self.bandwidth_bps = bandwidth_bps
         self._ifaces: list["Interface"] = []
         self._tx = _TxQueue(sim, bandwidth_bps, latency, queue_limit,
-                            self._broadcast, loss_rate)
+                            self._broadcast, loss_rate,
+                            name=f"tx:{name or 'segment'}")
 
     def attach(self, iface: "Interface") -> None:
         self._ifaces.append(iface)

@@ -92,6 +92,11 @@ class Node:
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
+        #: this node's scheduling context (see the contract in
+        #: :mod:`repro.net.sim`): everything the node schedules in
+        #: response to a delivery is attributed here, so its event keys
+        #: don't depend on which segment simulator runs it
+        self.ctx = sim.context(f"node:{name}")
         self.interfaces: list[Interface] = []
         self.routes = RoutingTable()
         self.stats = NodeStats()
@@ -141,6 +146,14 @@ class Node:
         if not self.interfaces:
             raise RuntimeError(f"node {self.name} has no interfaces")
         return self.interfaces[0].address
+
+    @property
+    def entropy(self):
+        """This node's private seeded random stream.  Node-local draws
+        (ASP ``random_int``, gateway picks) use this instead of the
+        shared ``sim.rng`` so the sequence seen by one node doesn't
+        depend on unrelated traffic — or on sharding."""
+        return self.ctx.entropy
 
     def register_proto(self, proto: int,
                        handler: Callable[[Packet], None]) -> None:
@@ -220,15 +233,23 @@ class Node:
             self.stats.dropped_down += 1
             self._drop(packet, "node-down")
             return
-        self.stats.received += 1
-        for tap in self.receive_taps:
-            tap(packet, iface)
-        if self.planp is not None and self._planp_eligible(packet) \
-                and self.planp.wants(packet, iface):
-            self.stats.asp_handled += 1
-            self.planp.process(packet, iface)
-            return
-        self.standard_processing(packet, iface)
+        # Re-root the ambient scheduling context: the delivery event ran
+        # under the sending queue's context, but everything this node
+        # schedules in response belongs to *its* context (and, when
+        # sharded, the sender's context may live in another segment).
+        prev = self.sim.use_context(self.ctx)
+        try:
+            self.stats.received += 1
+            for tap in self.receive_taps:
+                tap(packet, iface)
+            if self.planp is not None and self._planp_eligible(packet) \
+                    and self.planp.wants(packet, iface):
+                self.stats.asp_handled += 1
+                self.planp.process(packet, iface)
+                return
+            self.standard_processing(packet, iface)
+        finally:
+            self.sim.use_context(prev)
 
     def _planp_eligible(self, packet: Packet) -> bool:
         """May the PLAN-P layer see this packet?  Routers see everything

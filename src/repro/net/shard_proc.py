@@ -1,0 +1,298 @@
+"""One-OS-process-per-segment execution of a sharded topology.
+
+The in-process :class:`~repro.net.shard.ShardRunner` proves (and tests
+verify) that sharded execution is byte-identical to serial; this module
+runs the *same* window protocol with each segment in its own process,
+which is what actually buys wall-clock speedup on multi-core hosts —
+the 10k-node scale bench (``benchmarks/test_scale.py``) drives it.
+
+Replicated construction
+-----------------------
+
+Workers do not receive a pickled topology.  Each worker imports a
+**builder** (a ``"module:function"`` reference) and constructs the
+*full* network itself — builders are deterministic functions of
+``(params, seed, shard_segments)``, and the scheduling contract of
+:mod:`repro.net.sim` makes every derived id (context lp, entropy
+stream, address, route) a pure function of construction order, so all
+workers agree on every key without exchanging any state.  A worker then
+runs only its own segment's simulator; the other segments' queues hold
+their setup events forever, untouched.
+
+The controller simulator is likewise **replicated**: every worker runs
+the full controller timeline inline (fault scripts mutate the worker's
+full local topology copy, deterministically).  The one restriction this
+imposes: controller events must only operate on topology state
+(faults, routing) — a controller event that *injects traffic* into a
+node another worker owns would strand those events in a queue that
+never runs.  Use a traffic-owning node's own schedule for that.
+
+The coordinator never simulates; it routes
+:class:`~repro.net.shard.BoundaryMessage` batches between workers and
+computes each window's horizon from the workers' reported
+next-event times.
+
+Merging results
+---------------
+
+Per-worker metric snapshots are merged back into one serial-comparable
+view: a node's scope comes from its owner (fault counters are
+replicated everywhere, traffic exists only at the owner); a link's
+numeric counters are summed over the owners of its endpoints (each
+direction's counters live with its sender, and are zero elsewhere);
+``drops_total`` sums; controller-scope values come from worker 0
+(identical everywhere by replication).  Wall-clock-style and per-worker
+bookkeeping keys are left out — records built on these merges go
+through :func:`repro.experiments.result.deterministic_metrics` like
+any others.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .sim import BEFORE_ANY_LP
+from .shard import BoundaryMessage, ShardError, run_window
+
+#: keys that are per-worker bookkeeping, never merged
+_UNMERGED_PREFIXES = ("events.", "sim", "deploy.")
+
+
+def _resolve(ref: str) -> Callable:
+    """Import ``"module:function"``."""
+    module, _, name = ref.partition(":")
+    if not module or not name:
+        raise ShardError(f"builder reference {ref!r} is not "
+                         f"'module:function'")
+    fn = getattr(importlib.import_module(module), name, None)
+    if fn is None:
+        raise ShardError(f"{ref!r} does not resolve to a function")
+    return fn
+
+
+def _recv(conn):
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise ShardError(f"shard worker failed:\n{msg[1]}")
+    return msg
+
+
+@dataclass
+class ShardProcReport:
+    """What a process-sharded run produced."""
+
+    segments: int
+    windows: int
+    #: one merged, serial-comparable metrics view (see module docstring)
+    metrics: dict[str, Any]
+    #: each worker's ``collect(net, owned_names)`` result, in segment
+    #: order (callers merge domain-specifically — e.g. concatenate and
+    #: key-sort delivery streams)
+    collected: list[Any]
+    #: per-segment (events_processed, horizon_stalls, boundary_in/out)
+    segment_stats: list[dict[str, float]] = field(default_factory=list)
+
+
+def _worker_main(conn, builder_ref: str, collect_ref: str | None,
+                 params: dict, seed: int, segments: int,
+                 worker: int) -> None:
+    try:
+        _worker_loop(conn, builder_ref, collect_ref, params, seed,
+                     segments, worker)
+    except Exception:  # surface worker crashes to the coordinator
+        import traceback
+
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+
+
+def _worker_loop(conn, builder_ref: str, collect_ref: str | None,
+                 params: dict, seed: int, segments: int,
+                 worker: int) -> None:
+    builder = _resolve(builder_ref)
+    net = builder(params=params, seed=seed, shard_segments=segments)
+    runner = net._shard
+    if runner is None or runner.plan.segments != segments:
+        raise ShardError("builder must finalize the network with "
+                         f"shard_segments={segments}")
+    own = runner.sims[worker]
+    ctrl = net.sim
+
+    def next_time() -> float | None:
+        times = [t for t in (ctrl.next_event_time(),
+                             own.next_event_time()) if t is not None]
+        return min(times) if times else None
+
+    conn.send(("hello", runner.plan.lookahead, next_time()))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "window":
+            _, until, until_key, inbound = msg
+            for m in inbound:
+                runner.inject(m)
+            before = own.events_processed
+            run_window(net, [own], until, until_key)
+            if own.events_processed == before:
+                runner.horizon_stalls[worker] += 1
+            runner.windows += 1
+            out = runner._outbox
+            runner._outbox = []
+            conn.send(("done", next_time(), out))
+        elif msg[0] == "finish":
+            _, until = msg
+            if until is not None:
+                for s in (ctrl, own):
+                    if s.now < until:
+                        s.advance_to(until)
+            owned = {name for name, seg
+                     in runner.plan.assignment.items() if seg == worker}
+            collected = None
+            if collect_ref is not None:
+                collected = _resolve(collect_ref)(net, owned)
+            conn.send(("result", {
+                "metrics": net.metrics_snapshot(include_global=False),
+                "collected": collected,
+                "segment": runner._segment_stats(worker),
+                "ctrl_events": ctrl.events_processed,
+                "assignment": dict(runner.plan.assignment),
+                "media_owners": {
+                    m.name: sorted({runner.plan.segment_of(i.node)
+                                    for i in m.interfaces})
+                    for m in net.media},
+            }))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol error
+            raise ShardError(f"unknown coordinator message {msg[0]!r}")
+
+
+def _merge_metrics(fragments: list[dict[str, Any]],
+                   assignment: dict[str, int],
+                   media_owners: dict[str, list[int]],
+                   ctrl_events: int,
+                   segment_stats: list[dict[str, float]],
+                   until: float | None) -> dict[str, Any]:
+    merged: dict[str, Any] = {}
+    keys = set()
+    for frag in fragments:
+        keys.update(frag)
+    for key in sorted(keys):
+        if key.startswith(_UNMERGED_PREFIXES):
+            continue
+        scope = key.split(".", 2)
+        if scope[0] == "node" and len(scope) >= 3:
+            owner = assignment.get(scope[1])
+            if owner is not None:
+                merged[key] = fragments[owner].get(key)
+                continue
+        if scope[0] == "link" and len(scope) >= 3:
+            owners = media_owners.get(scope[1])
+            if owners:
+                values = [fragments[w].get(key) for w in owners]
+                if key.endswith(".up"):
+                    merged[key] = all(values)
+                else:
+                    merged[key] = sum(v for v in values
+                                      if isinstance(v, (int, float)))
+                continue
+        if key == "drops_total":
+            merged[key] = sum(frag.get(key, 0) for frag in fragments)
+            continue
+        # controller-scope values are replicated; any worker's will do
+        merged[key] = fragments[0].get(key)
+    # the merged scheduler view, mirroring ShardRunner.merged_sim_stats
+    merged["sim.events_processed"] = ctrl_events + sum(
+        int(s["events_processed"]) for s in segment_stats)
+    merged["sim.pending_events"] = sum(
+        int(s["pending_events"]) for s in segment_stats)
+    if until is not None:
+        merged["sim.now"] = float(until)
+    return merged
+
+
+def run_sharded_processes(builder: str, *, params: dict, seed: int,
+                          segments: int, until: float,
+                          collect: str | None = None) -> ShardProcReport:
+    """Run ``builder``'s topology to ``until`` with one worker process
+    per segment (see the module docstring for the contract).
+
+    ``builder`` and ``collect`` are ``"module:function"`` references —
+    workers import them, so they must be top-level functions.
+    ``collect(net, owned_names)`` harvests whatever the caller needs
+    from each worker's finished network (delivery streams, app state);
+    its results come back per-segment in :attr:`ShardProcReport
+    .collected`.
+    """
+    if segments < 1:
+        raise ShardError("segments must be >= 1")
+    if until is None:
+        raise ShardError("process-sharded runs need an explicit until")
+    ctx = multiprocessing.get_context("fork")
+    conns, procs = [], []
+    try:
+        for w in range(segments):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, builder, collect, params, seed, segments,
+                      w),
+                daemon=True)
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        hellos = [_recv(conn) for conn in conns]
+        lookahead = hellos[0][1]
+        times: list[float | None] = [h[2] for h in hellos]
+        buffered: list[BoundaryMessage] = []
+        windows = 0
+        while True:
+            live = [t for t in times if t is not None]
+            live += [m.arrival for m in buffered]
+            t_min = min(live, default=None)
+            if t_min is None or t_min > until:
+                break
+            horizon = t_min + lookahead
+            if horizon > until:
+                until_t, until_key = until, None
+            else:
+                until_t, until_key = None, (horizon, BEFORE_ANY_LP, 0)
+            inbound: dict[int, list[BoundaryMessage]] = {}
+            for m in buffered:
+                inbound.setdefault(m.dst_segment, []).append(m)
+            buffered = []
+            for w, conn in enumerate(conns):
+                conn.send(("window", until_t, until_key,
+                           sorted(inbound.get(w, ()),
+                                  key=lambda m: (m.arrival, m.lp,
+                                                 m.lseq))))
+            for w, conn in enumerate(conns):
+                _, times[w], out = _recv(conn)
+                buffered.extend(out)
+            windows += 1
+        for conn in conns:
+            conn.send(("finish", until))
+        results = [_recv(conn)[1] for conn in conns]
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+
+    # ownership maps for the metric merge come from the workers
+    # themselves (every worker derives the identical plan)
+    fragments = [r["metrics"] for r in results]
+    segment_stats = [r["segment"] for r in results]
+    merged = _merge_metrics(fragments, results[0]["assignment"],
+                            results[0]["media_owners"],
+                            results[0]["ctrl_events"], segment_stats,
+                            until)
+    return ShardProcReport(
+        segments=segments, windows=windows, metrics=merged,
+        collected=[r["collected"] for r in results],
+        segment_stats=segment_stats)

@@ -814,7 +814,9 @@ class LifecycleManager:
                                 for nl in self.nodes.values()))
 
         while sim.now < horizon and not settled():
-            sim.run(until=min(sim.now + poll, horizon))
+            # Through the network façade, so sharded topologies poll
+            # correctly too.
+            self.net.run(until=min(sim.now + poll, horizon))
         return settled()
 
     def _emit(self, kind: str, **data) -> None:

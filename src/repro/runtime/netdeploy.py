@@ -349,11 +349,16 @@ class _TargetTransfer:
         self.timeout = policy.initial_timeout
         self._timer: EventHandle | None = None
         self._deadline: EventHandle | None = None
+        # Per-transfer jitter stream: retry desynchronization must not
+        # depend on what other transfers (or unrelated traffic) drew
+        # from the shared stream, so sharded runs stay byte-identical.
+        self._entropy = manager.host.sim.entropy(
+            f"deploy:{xfer}:{target}")
 
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self) -> None:
-        sim = self.manager.net.sim
+        sim = self.manager.host.sim
         self.status.deadline = sim.now + self.policy.deadline
         self._deadline = sim.at(self.status.deadline, self._on_deadline)
         self._send_begin()
@@ -432,9 +437,10 @@ class _TargetTransfer:
 
     def _arm(self) -> None:
         self._cancel_timer()
-        sim = self.manager.net.sim
+        sim = self.manager.host.sim
         self._timer = sim.schedule(
-            sim.jittered(self.timeout, self.policy.jitter),
+            sim.jittered(self.timeout, self.policy.jitter,
+                         entropy=self._entropy),
             self._on_timer)
 
     def _cancel_timer(self) -> None:
@@ -655,7 +661,9 @@ class DeploymentManager:
         else:
             horizon = sim.now + timeout
         while sim.now < horizon and not self.converged(xfer):
-            sim.run(until=min(sim.now + poll, horizon))
+            # Drive through the network façade (not the simulator
+            # directly) so sharded topologies poll correctly too.
+            self.net.run(until=min(sim.now + poll, horizon))
         return self.converged(xfer)
 
     def counters(self, xfer: str) -> dict[str, int]:

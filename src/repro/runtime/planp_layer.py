@@ -715,7 +715,10 @@ class PlanPLayer:
         return self.node.queue_len_toward(toward)
 
     def random_int(self, bound: int) -> int:
-        return self.node.sim.rng.randrange(bound) if bound > 0 else 0
+        # Drawn from the node's private stream (not the shared sim.rng)
+        # so one node's sequence doesn't depend on unrelated traffic —
+        # which is what keeps sharded execution byte-identical.
+        return self.node.entropy.randrange(bound) if bound > 0 else 0
 
     def output(self, text: str) -> None:
         self.console.append(text)

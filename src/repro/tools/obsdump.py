@@ -9,6 +9,7 @@
     python -m repro.tools.obsdump chaos --lifecycle
     python -m repro.tools.obsdump upgrade --lifecycle
     python -m repro.tools.obsdump fuzz --quick
+    python -m repro.tools.obsdump scale --shards 4
 
 Each mode runs one scenario and dumps its metrics snapshot as sorted
 JSON on stdout; ``--events`` additionally prints the structured event
@@ -20,6 +21,13 @@ to a file instead, which is the shape the CI artifact uses.
 over the wire, a congested bottleneck link dropping packets, and a
 scripted link flap — so every event kind (``deploy``, ``drop``,
 ``fault``, ``jit``) shows up in one run.
+
+``scale`` runs the ring-of-clusters workload through the sharded core
+(DESIGN §13) with ``--shards N`` segments and prints the per-segment
+window summary — events processed, horizon stalls, and boundary
+crossings per segment — instead of raw metrics (use ``--json`` for
+both).  Boundary-crossing tracing is enabled, so ``shard-boundary``
+events show up under ``--events``.
 
 ``chaos`` runs the poisoned-ASP lifecycle drill (rollouts, breaker
 trips, quarantine, automatic rollback); ``upgrade`` runs the
@@ -39,7 +47,7 @@ import sys
 from ..obs import GLOBAL
 
 MODES = ("demo", "audio", "http", "images", "mpeg", "microbench",
-         "chaos", "upgrade", "fuzz")
+         "chaos", "upgrade", "fuzz", "scale")
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +215,48 @@ def _run_fuzz(quick: bool) -> tuple[dict, list]:
     return GLOBAL.snapshot(), events
 
 
+def _run_scale(quick: bool, shards: int) -> tuple[dict, list, dict]:
+    """The ring-of-clusters workload on the sharded core, with
+    boundary tracing on and a per-segment window summary."""
+    from ..experiments.scale import build_scale_net, scale_until
+
+    params = dict(n_clusters=4 if quick else 8,
+                  hosts_per_cluster=3 if quick else 6,
+                  packets_per_host=4)
+    net = build_scale_net(params=params, seed=7, shard_segments=shards)
+    if net._shard is not None:
+        net._shard.trace_boundary = True
+    net.run(until=scale_until(params))
+    events = [record.to_dict() for record in net.obs.events.filter()]
+    return net.metrics_snapshot(), events, shard_summary(net)
+
+
+def shard_summary(net) -> dict:
+    """Fold a sharded network's runner state into the ``scale`` view:
+    windows, lookahead, cut links, and per-segment event counts,
+    horizon stalls, and boundary crossings."""
+    runner = net._shard
+    if runner is None:
+        return {"windows": 0, "segments": [],
+                "note": "serial run (shard_segments=1)"}
+    plan = runner.plan
+    keep = ("events_processed", "pending_events", "horizon_stalls",
+            "boundary_in", "boundary_out")
+    return {
+        "windows": runner.windows,
+        "lookahead": plan.lookahead,
+        "cross_links": plan.cross_links,
+        "segments": [
+            {"segment": i,
+             "nodes": sum(1 for s in plan.assignment.values()
+                          if s == i),
+             **{key: value
+                for key, value in runner._segment_stats(i).items()
+                if key in keep}}
+            for i in range(plan.segments)],
+    }
+
+
 def _run_microbench(quick: bool) -> tuple[dict, list]:
     from ..experiments.microbench import run_engine_microbench
 
@@ -239,8 +289,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="summarize rollout generations, breaker "
                              "trips and rollbacks per node from the "
                              "event log (instead of raw metrics)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="scale mode: run the topology sharded "
+                             "into N segments (default 2) and print "
+                             "the per-segment window summary")
     args = parser.parse_args(argv)
 
+    shards_doc = None
     if args.mode == "demo":
         metrics, events = _run_demo()
         show_events = True
@@ -256,6 +311,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.mode == "fuzz":
         metrics, events = _run_fuzz(args.quick)
         show_events = args.events
+    elif args.mode == "scale":
+        metrics, events, shards_doc = _run_scale(
+            args.quick, args.shards if args.shards is not None else 2)
+        show_events = args.events
     else:
         runner = {"audio": _run_audio, "http": _run_http,
                   "images": _run_images, "mpeg": _run_mpeg}[args.mode]
@@ -266,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = {"mode": args.mode, "metrics": metrics, "events": events}
         if args.lifecycle:
             doc["lifecycle"] = lifecycle_summary(events)
+        if shards_doc is not None:
+            doc["shards"] = shards_doc
         with open(args.json, "w") as fp:
             json.dump(doc, fp, indent=2, sort_keys=True, default=str)
         print(f"wrote {args.json}", file=sys.stderr)
@@ -274,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.lifecycle:
         json.dump(lifecycle_summary(events), sys.stdout, indent=2,
                   sort_keys=True, default=str)
+        sys.stdout.write("\n")
+        return 0
+
+    if shards_doc is not None:
+        json.dump(shards_doc, sys.stdout, indent=2, sort_keys=True,
+                  default=str)
         sys.stdout.write("\n")
         return 0
 
