@@ -1,12 +1,13 @@
 """Extensible HTTP server with load balancing (paper 3.2)."""
 
-from .client import CompletedRequest, HttpClientWorker
+from .client import CompletedRequest, HttpClientWorker, OpenLoopClient
 from .cluster import ClusterManager, HealthResponder
 from .experiment import (MODES, Fig8SweepResult, HttpExperimentResult,
                          run_fig8_sweep, run_http_experiment)
 from .gateway_c import BuiltinGateway, GatewayStats
 from .server import HTTP_PORT, HttpServer, ServedRequest
-from .trace import Trace, TraceEntry, generate_trace
+from .trace import (TimedRequest, Trace, TraceEntry, flood_times,
+                    generate_trace, open_loop_arrivals)
 
 __all__ = [
     "BuiltinGateway",
@@ -20,10 +21,14 @@ __all__ = [
     "HttpExperimentResult",
     "HttpServer",
     "MODES",
+    "OpenLoopClient",
     "ServedRequest",
+    "TimedRequest",
     "Trace",
     "TraceEntry",
+    "flood_times",
     "generate_trace",
+    "open_loop_arrivals",
     "run_fig8_sweep",
     "run_http_experiment",
 ]

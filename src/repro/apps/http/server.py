@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ...net.node import Host
+from ...net.overload import AdmissionController
 from ...net.tcp import TcpConnection, TcpError
 from ...net.topology import Network
 
@@ -39,7 +40,11 @@ class HttpServer:
     def __init__(self, net: Network, host: Host,
                  sizes: dict[str, int], *, port: int = HTTP_PORT,
                  workers: int = 8, base_cpu_s: float = BASE_CPU_S,
-                 per_byte_cpu_s: float = PER_BYTE_CPU_S):
+                 per_byte_cpu_s: float = PER_BYTE_CPU_S,
+                 max_backlog: int | None = None,
+                 request_deadline: float | None = None,
+                 admission: AdmissionController | None = None,
+                 syn_backlog: int | None = None):
         self.net = net
         self.host = host
         self.sizes = sizes
@@ -47,17 +52,28 @@ class HttpServer:
         self.workers = workers
         self.base_cpu_s = base_cpu_s
         self.per_byte_cpu_s = per_byte_cpu_s
+        #: graceful degradation (DESIGN §14): a ``None`` for each knob
+        #: keeps the historical unbounded/deadline-free behavior
+        self.max_backlog = max_backlog
+        self.request_deadline = request_deadline
+        self.admission = admission
 
         self.requests_served = 0
         self.bytes_served = 0
         self.errors = 0
+        #: 503s sent on arrival: admission refusal, full backlog, or a
+        #: queue already guaranteed to blow the deadline
+        self.shed = 0
+        #: 503s sent at dequeue: the deadline passed while queued
+        self.expired = 0
         self.served: list[ServedRequest] = []
         self._cpu_busy_until = 0.0
         self._active_workers = 0
         self._backlog: deque[tuple[TcpConnection, str, float]] = deque()
         self._buffers: dict[int, bytearray] = {}
 
-        net.tcp(host).listen(port, self._on_accept)
+        net.tcp(host).listen(port, self._on_accept,
+                             backlog=syn_backlog)
 
     # -- connection handling ---------------------------------------------------
 
@@ -97,29 +113,74 @@ class HttpServer:
     # -- the CPU model -----------------------------------------------------------
 
     def _enqueue(self, conn: TcpConnection, path: str) -> None:
-        self._backlog.append((conn, path, self.net.sim.now))
+        now = self.host.sim.now
+        if self.admission is not None and not self.admission.admit(now):
+            self._shed(conn, "admission")
+            return
+        if (self.max_backlog is not None
+                and len(self._backlog) >= self.max_backlog):
+            if self.admission is not None:
+                self.admission.on_overload()
+            self._shed(conn, "backlog-full")
+            return
+        if self.request_deadline is not None:
+            # Deadline-aware shedding: when the CPU work already queued
+            # guarantees this request would miss its deadline, a fast
+            # 503 now beats a slow 503 later (the client backs off
+            # immediately instead of camping in the queue).
+            if self._cpu_busy_until - now > self.request_deadline:
+                if self.admission is not None:
+                    self.admission.on_overload()
+                self._shed(conn, "deadline")
+                return
+        self._backlog.append((conn, path, now))
         self._maybe_start_worker()
 
     def _maybe_start_worker(self) -> None:
-        if self._active_workers >= self.workers or not self._backlog:
+        while self._active_workers < self.workers and self._backlog:
+            conn, path, arrived = self._backlog.popleft()
+            now = self.host.sim.now
+            if (self.request_deadline is not None
+                    and now - arrived > self.request_deadline):
+                # Expired while queued: answer cheaply, charge no CPU.
+                self._expire(conn)
+                continue
+            self._active_workers += 1
+            size = self.sizes.get(path, 0)
+            cpu = self.base_cpu_s + size * self.per_byte_cpu_s
+            # The CPU is serial: this request's work starts when the
+            # CPU frees up, regardless of worker concurrency.
+            start = max(now, self._cpu_busy_until)
+            self._cpu_busy_until = start + cpu
+            done_at = self._cpu_busy_until
+
+            def finish(conn=conn, path=path, size=size,
+                       arrived=arrived) -> None:
+                self._active_workers -= 1
+                self._finish_request(conn, path, size, arrived)
+                if self.admission is not None:
+                    self.admission.on_healthy()
+                self._maybe_start_worker()
+
+            self.host.sim.at(done_at, finish)
             return
-        conn, path, arrived = self._backlog.popleft()
-        self._active_workers += 1
-        size = self.sizes.get(path, 0)
-        cpu = self.base_cpu_s + size * self.per_byte_cpu_s
-        # The CPU is serial: this request's work starts when the CPU
-        # frees up, regardless of worker concurrency.
-        now = self.net.sim.now
-        start = max(now, self._cpu_busy_until)
-        self._cpu_busy_until = start + cpu
-        done_at = self._cpu_busy_until
 
-        def finish() -> None:
-            self._active_workers -= 1
-            self._finish_request(conn, path, size, arrived)
-            self._maybe_start_worker()
+    # -- load shedding -----------------------------------------------------------
 
-        self.net.sim.at(done_at, finish)
+    def _shed(self, conn: TcpConnection, reason: str) -> None:
+        self.shed += 1
+        self.net.obs.metrics.counter("http.server.shed_total").inc()
+        self.net.obs.events.emit("overload", node=self.host.name,
+                                 where="http-server", action="shed",
+                                 reason=reason)
+        self._respond(conn, 503, b"overloaded")
+
+    def _expire(self, conn: TcpConnection) -> None:
+        self.expired += 1
+        self.net.obs.metrics.counter("http.server.expired_total").inc()
+        self.net.obs.events.emit("overload", node=self.host.name,
+                                 where="http-server", action="expired")
+        self._respond(conn, 503, b"expired")
 
     def _finish_request(self, conn: TcpConnection, path: str, size: int,
                         arrived: float) -> None:
@@ -143,7 +204,7 @@ class HttpServer:
         self.bytes_served += len(body)
         self.served.append(ServedRequest(path=path, size=size,
                                          arrived=arrived,
-                                         completed=self.net.sim.now))
+                                         completed=self.host.sim.now))
 
     @staticmethod
     def _body_for(path: str, size: int) -> bytes:
@@ -153,7 +214,8 @@ class HttpServer:
 
     def _respond(self, conn: TcpConnection, code: int,
                  message: bytes) -> None:
-        reason = {400: "Bad Request", 404: "Not Found"}.get(code, "Error")
+        reason = {400: "Bad Request", 404: "Not Found",
+                  503: "Service Unavailable"}.get(code, "Error")
         headers = (f"HTTP/1.0 {code} {reason}\r\nContent-Length: "
                    f"{len(message)}\r\n\r\n").encode("latin-1")
         try:

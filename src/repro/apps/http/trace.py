@@ -8,6 +8,9 @@ fully deterministic from the seed.
 
 from __future__ import annotations
 
+import bisect
+import math
+import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +20,14 @@ import numpy as np
 class TraceEntry:
     path: str
     size: int
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One open-loop arrival: fetch ``path`` at absolute time ``at``."""
+
+    at: float
+    path: str
 
 
 @dataclass
@@ -70,3 +81,94 @@ def generate_trace(n_requests: int = 80_000, *, n_files: int = 1000,
     paths = [f"/doc{r:05d}.html" for r in ranks]
     entries = [TraceEntry(path=p, size=sizes[p]) for p in paths]
     return Trace(entries=entries, sizes=sizes)
+
+
+# -- open-loop workloads (flash crowds, DESIGN §14) ---------------------------
+
+
+def open_loop_arrivals(trace: Trace, *, start: float, duration: float,
+                       base_rate: float, diurnal_amplitude: float = 0.3,
+                       diurnal_period: float = 8.0,
+                       spike_start: float | None = None,
+                       spike_end: float | None = None,
+                       spike_multiplier: float = 1.0,
+                       hot_fraction: float = 0.0, hot_rank: int = 0,
+                       zipf_a: float = 1.3,
+                       entropy: random.Random | None = None,
+                       seed: int = 0) -> list[TimedRequest]:
+    """Generate flash-crowd arrivals over ``trace``'s document catalogue.
+
+    The arrival process is inhomogeneous Poisson, realized by thinning:
+    a diurnal sinusoid (``base_rate`` modulated by
+    ``diurnal_amplitude`` over ``diurnal_period`` seconds — the day
+    compressed to simulation scale) times a ``spike_multiplier`` step
+    inside ``[spike_start, spike_end)``.  During the spike a
+    ``hot_fraction`` share of requests collapses onto the document at
+    popularity rank ``hot_rank`` — the Zipf shift of a flash crowd,
+    where everyone wants the same page — while the rest draw from the
+    stationary Zipf(``zipf_a``) popularity law.
+
+    All randomness comes from ``entropy`` (pass a
+    ``SchedulingContext``-owned stream for shard-stable runs) or a
+    private ``random.Random(seed)``; the shared simulator rng and the
+    numpy trace rng are never touched, so adding a crowd cannot perturb
+    any other workload's draws.
+    """
+    if base_rate <= 0 or duration <= 0:
+        raise ValueError("need base_rate > 0 and duration > 0")
+    if not 0 <= diurnal_amplitude < 1:
+        raise ValueError(f"diurnal_amplitude {diurnal_amplitude} "
+                         f"not in [0, 1)")
+    rng = entropy if entropy is not None else random.Random(seed)
+    ranked = sorted(trace.sizes)  # rank order: doc00000 is hottest
+    cdf: list[float] = []
+    acc = 0.0
+    for r in range(len(ranked)):
+        acc += (r + 1) ** -zipf_a
+        cdf.append(acc)
+    total = cdf[-1]
+
+    def rate_at(t: float) -> float:
+        lam = base_rate * (1.0 + diurnal_amplitude * math.sin(
+            2.0 * math.pi * (t - start) / diurnal_period))
+        if (spike_start is not None and spike_end is not None
+                and spike_start <= t < spike_end):
+            lam *= spike_multiplier
+        return lam
+
+    lam_max = (base_rate * (1.0 + diurnal_amplitude)
+               * max(spike_multiplier, 1.0))
+    arrivals: list[TimedRequest] = []
+    t = start
+    end = start + duration
+    while True:
+        t += rng.expovariate(lam_max)
+        if t >= end:
+            break
+        if rng.random() * lam_max > rate_at(t):
+            continue  # thinned: below the envelope at this instant
+        in_spike = (spike_start is not None and spike_end is not None
+                    and spike_start <= t < spike_end)
+        if in_spike and rng.random() < hot_fraction:
+            path = ranked[hot_rank % len(ranked)]
+        else:
+            i = bisect.bisect_left(cdf, rng.random() * total)
+            path = ranked[min(i, len(ranked) - 1)]
+        arrivals.append(TimedRequest(at=t, path=path))
+    return arrivals
+
+
+def flood_times(*, start: float, duration: float, rate: float,
+                entropy: random.Random) -> list[float]:
+    """Poisson firing times for one attacker — SYN-flood or similar
+    packet floods where only the timing matters, not a document."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("need rate > 0 and duration > 0")
+    times: list[float] = []
+    t = start
+    end = start + duration
+    while True:
+        t += entropy.expovariate(rate)
+        if t >= end:
+            return times
+        times.append(t)

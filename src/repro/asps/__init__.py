@@ -25,6 +25,7 @@ from .images import IMAGE_PORT, image_distiller_asp
 from .mpeg import (CAPTURE_CONFIG_PORT, MONITOR_QUERY_PORT,
                    MONITOR_REPLY_PORT, MPEG_CTRL_PORT, mpeg_client_asp,
                    mpeg_monitor_asp)
+from .overload import shedding_asp
 
 __all__ = [
     "AUDIO_PORT",
@@ -47,4 +48,5 @@ __all__ = [
     "image_distiller_asp",
     "mpeg_client_asp",
     "mpeg_monitor_asp",
+    "shedding_asp",
 ]

@@ -1,0 +1,145 @@
+"""In-network load shedding ASPs (DESIGN §14).
+
+Overload defense deployed *in the network*, at the gateway router in
+front of the web cluster, in the spirit of the paper's router-resident
+adaptations: the router sees the aggregate the endpoint cannot, and a
+PLAN-P program small enough to verify can drop abusive traffic before
+it consumes the server's CPU or the bottleneck link.
+
+One combined program (a router runs a single ASP) covers both attack
+shapes of the web overload drill:
+
+* **SYN-flood filter** (client→server direction): a per-source budget
+  of outstanding SYNs.  Every forwarded SYN increments the source's
+  count; any non-SYN packet from that source — the ACK completing a
+  real handshake, or request data — resets it to zero.  A flooder
+  never completes a handshake, so after ``syn_budget`` leaked SYNs its
+  address is blocked outright, while a well-behaved client's count
+  never exceeds one for longer than a round trip.
+
+* **Elephant-flow fair shedder** (server→client direction): a
+  per-destination response-byte budget per ``window_ms`` of router
+  time (``getTime()``).  A destination that pulls more than
+  ``byte_budget`` bytes inside one window is blocked for ``block_ms``
+  — its further response bytes dropped — stalling the elephant's
+  transfer (and, through TCP, the client driving it) while small
+  documents flow untouched.
+
+All three per-flow cells live in one ``(int) hash_table`` keyed by
+``host*int``: ``(src, 0)`` holds the outstanding-SYN count,
+``(dst, 1)`` the byte accounting, ``(dst, 2)`` the block expiry (ms).
+PLAN-P has no integer division, so the byte cell packs window identity
+and usage into one integer: ``stored = window_id * PACK + used`` with
+``used < PACK``, both recovered via ``mod``; a cell whose packed
+window is stale reads as zero usage, so windows roll without any
+sweep.
+
+The program drops packets, so the delivery verifier rightly refuses
+it: deploy through the privileged path (``verify=False, force=True``),
+under lifecycle-manager protection so a misbehaving shedder trips the
+circuit breaker and the router degrades to standard IP.
+"""
+
+from __future__ import annotations
+
+HTTP_PORT = 80
+
+#: Window/usage packing base for the byte-accounting cell.  Must exceed
+#: any reachable ``used`` value: budget plus one full-size packet.
+PACK = 16_777_216
+
+
+def shedding_asp(*, http_port: int = HTTP_PORT, syn_budget: int = 4,
+                 window_ms: int = 500, byte_budget: int = 400_000,
+                 block_ms: int = 10_000,
+                 table_size: int = 4096) -> str:
+    """Generate the combined SYN-flood + elephant-shedder program."""
+    if syn_budget < 1:
+        raise ValueError("need syn_budget >= 1")
+    if not 0 < byte_budget < PACK - 65_536:
+        raise ValueError(f"byte_budget {byte_budget} must leave room "
+                         f"for one packet below PACK={PACK}")
+    if window_ms < 1 or block_ms < 1:
+        raise ValueError("need window_ms >= 1 and block_ms >= 1")
+
+    return f"""\
+-- In-network load shedding: per-source SYN budget (client->server)
+-- plus per-destination response-byte fair shedder (server->client).
+-- Drops packets: requires privileged deployment (verify=False).
+
+val httpPort : int = {http_port}
+val synBudget : int = {syn_budget}
+val windowMs : int = {window_ms}
+val byteBudget : int = {byte_budget}
+val blockMs : int = {block_ms}
+val pack : int = {PACK}
+
+channel network(ps : int, ss : (int) hash_table, p : ip*tcp*blob)
+initstate mkTable({table_size}) is
+  let
+    val iph : ip = #1 p
+    val tcph : tcp = #2 p
+    val body : blob = #3 p
+  in
+    if tcpDst(tcph) = httpPort then
+      -- client -> server: the SYN-flood filter
+      let
+        val src : host*int = (ipSrc(iph), 0)
+      in
+        if tcpSyn(tcph) then
+          let
+            val pending : int = tableGetDefault(ss, src, 0)
+          in
+            if pending < synBudget then
+              (tableSet(ss, src, pending + 1);
+               OnRemote(network, p);
+               (ps, ss))
+            else
+              -- budget exhausted and never forgiven by a completed
+              -- handshake: this source floods; shed it
+              (drop(p); (ps, ss))
+          end
+        else
+          -- a live connection: the handshake completed, so this
+          -- source is real; forgive its outstanding-SYN count
+          (tableSet(ss, src, 0); OnRemote(network, p); (ps, ss))
+      end
+    else
+      if tcpSrc(tcph) = httpPort then
+        -- server -> client: the elephant-flow fair shedder
+        let
+          val key : host*int = (ipDst(iph), 1)
+          val bkey : host*int = (ipDst(iph), 2)
+          val t : int = getTime()
+          val winId : int = t - (t mod windowMs)
+          val blockedUntil : int = tableGetDefault(ss, bkey, 0)
+        in
+          if t < blockedUntil then
+            -- still serving its sentence: starve the flow out
+            (drop(p); (ps, ss))
+          else
+            let
+              val stored : int = tableGetDefault(ss, key, 0)
+              val used0 : int = stored mod pack
+              -- this window's packed id (no div: subtract the mod)
+              val epoch : int = winId * pack
+              val used : int =
+                if stored - used0 = epoch then used0 else 0
+              val newUsed : int = used + blobLen(body)
+            in
+              if newUsed > byteBudget then
+                -- over its fair share of response bytes this window:
+                -- block the destination, stall the elephant
+                (tableSet(ss, bkey, t + blockMs);
+                 drop(p);
+                 (ps, ss))
+              else
+                (tableSet(ss, key, epoch + newUsed);
+                 OnRemote(network, p);
+                 (ps + 1, ss))
+            end
+        end
+      else
+        (OnRemote(network, p); (ps, ss))
+  end
+"""

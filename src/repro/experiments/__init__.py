@@ -6,8 +6,10 @@ from .microbench import (BRIDGE_ASP, MicrobenchResult, make_bridge_packets,
 from .result import (ExperimentResult, LegacyResult, deterministic_metrics,
                      jsonify)
 from .upgrade import UpgradeResult, run_upgrade_experiment
+from .web import ATTACKS, WebResult, run_web_experiment
 
 __all__ = [
+    "ATTACKS",
     "BRIDGE_ASP",
     "ExperimentResult",
     "Fig3Result",
@@ -15,6 +17,7 @@ __all__ = [
     "LegacyResult",
     "MicrobenchResult",
     "UpgradeResult",
+    "WebResult",
     "deterministic_metrics",
     "fig3_codegen_table",
     "format_fig3_table",
@@ -22,4 +25,5 @@ __all__ = [
     "make_bridge_packets",
     "run_engine_microbench",
     "run_upgrade_experiment",
+    "run_web_experiment",
 ]

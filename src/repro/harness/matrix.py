@@ -170,10 +170,49 @@ def chaos_matrix() -> list[Scenario]:
     ]
 
 
+def web_matrix() -> list[Scenario]:
+    """The overload drill (DESIGN §14): every attack shape with the
+    shedding defense on and off, plus the poisoned-shedder chaos cell.
+    The ``web-smoke`` tag marks the CI subset: the no-attack baseline
+    and the two floor-gated attacks (syn, elephant) at short duration —
+    exactly the cells the goodput-retention assertions in CI read."""
+    def tags(*extra: str) -> frozenset[str]:
+        return frozenset({"web", *extra})
+
+    scenarios = []
+    for attack in ("none", "flash", "syn", "elephant"):
+        for shedding in (False, True):
+            label = "shed" if shedding else "open"
+            smoke = (("web-smoke",) if attack in ("none", "syn",
+                                                  "elephant") else ())
+            scenarios.append(Scenario(
+                f"web/{attack}-{label}", "web",
+                {"attack": attack, "shedding": shedding,
+                 "duration": 6.0, "warmup": 2.0}, seed=17,
+                tags=tags(attack, *smoke)))
+    # the same cells through the sharded core: records must agree
+    # byte-for-byte with the serial cells above (asserted in tests;
+    # distinct scenario names because shard_segments is a param)
+    scenarios.append(Scenario(
+        "web/syn-shed-x2", "web",
+        {"attack": "syn", "shedding": True, "duration": 6.0,
+         "warmup": 2.0, "shard_segments": 2}, seed=17,
+        tags=tags("syn", "sharded")))
+    # chaos: the poisoned shedder must trip the breaker and degrade
+    # the gateway to standard IP without killing the run
+    scenarios.append(Scenario(
+        "web/syn-shed-poisoned", "web",
+        {"attack": "syn", "shedding": True, "duration": 6.0,
+         "warmup": 2.0, "poison_at": 3.0}, seed=17,
+        tags=tags("syn", "poison", "web-smoke")))
+    return scenarios
+
+
 MATRICES = {
     "standard": standard_matrix,
     "smoke": smoke_matrix,
     "chaos": chaos_matrix,
+    "web": web_matrix,
     "report-quick": lambda: report_matrix(QUICK),
     "report-full": lambda: report_matrix(FULL),
 }

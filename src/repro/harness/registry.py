@@ -91,6 +91,7 @@ def _register_all() -> None:
     from ..experiments.microbench import (MicrobenchResult,
                                           run_engine_microbench)
     from ..experiments.scale import ScaleResult, run_scale_experiment
+    from ..experiments.web import WebResult, run_web_experiment
 
     register("audio", result_cls=AudioExperimentResult,
              description="figure 5/6 audio adaptation run"
@@ -159,6 +160,11 @@ def _register_all() -> None:
                          "(shard_segments picks the partition)"
              )(lambda *, seed, **p: run_scale_experiment(seed=seed,
                                                          **p))
+
+    register("web", result_cls=WebResult,
+             description="overload drill: flash/syn/elephant attacks "
+                         "with in-network shedding on or off"
+             )(lambda *, seed, **p: run_web_experiment(seed=seed, **p))
 
     register("upgrade", result_cls=UpgradeResult,
              description="rolling-upgrade drill: wire-compat veto "

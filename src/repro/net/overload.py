@@ -1,0 +1,171 @@
+"""Overload-control building blocks (DESIGN §14).
+
+Three mechanisms, shared by the endpoints and the deployment runtime:
+
+* :class:`Backoff` — the jittered-exponential retry schedule netdeploy's
+  ack/retransmit machinery always used, extracted so the HTTP client's
+  retry policy draws from exactly the same mechanism.  The jitter draw
+  is one ``entropy.random()`` per armed timer (the
+  :meth:`~repro.net.sim.Simulator.jittered` formula), so a caller that
+  feeds a per-entity entropy stream stays byte-identical under sharding.
+* :class:`EwmaLoadEstimator` — an EWMA view over a
+  :class:`~repro.net.monitor.LoadMonitor`, reporting utilization against
+  a configured capacity with trip/clear hysteresis thresholds.
+* :class:`AdmissionController` — AIMD admission: a token bucket whose
+  fill rate is raised additively while the system is healthy and cut
+  multiplicatively on every overload signal, the classic TCP-shaped
+  response that keeps a shedding server at the knee of its capacity
+  curve instead of oscillating between empty and collapsed.
+
+All three are pure mechanisms: they own no node and schedule nothing —
+callers inject clocks/entropy, which is what keeps them usable from
+both serial and sharded simulations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .monitor import LoadMonitor
+
+__all__ = ["AdmissionController", "Backoff", "EwmaLoadEstimator"]
+
+
+class Backoff:
+    """A jittered exponential backoff schedule.
+
+    ``delay()`` returns the next timer value (one jitter draw from
+    ``entropy`` per call); ``bump()`` doubles the base toward
+    ``ceiling`` after a silent timeout; ``reset()`` restores the
+    initial base on progress.  With ``entropy=None`` the delay is
+    unjittered (deterministic), which unit tests use.
+    """
+
+    def __init__(self, *, initial: float, ceiling: float,
+                 multiplier: float = 2.0, jitter: float = 0.5,
+                 entropy: random.Random | None = None):
+        if initial <= 0 or ceiling < initial:
+            raise ValueError("need 0 < initial <= ceiling")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier {multiplier} would shrink")
+        self.initial = initial
+        self.ceiling = ceiling
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.entropy = entropy
+        self.current = initial
+        self.attempts = 0
+
+    def delay(self) -> float:
+        """The next timer value: the current base, jittered."""
+        base = self.current
+        if self.entropy is not None and self.jitter > 0:
+            return base * (1.0 + self.jitter
+                           * (2.0 * self.entropy.random() - 1.0))
+        return base
+
+    def bump(self) -> None:
+        """A timer fired with no progress: double toward the ceiling."""
+        self.attempts += 1
+        self.current = min(self.current * self.multiplier, self.ceiling)
+
+    def reset(self) -> None:
+        """Progress was made: restore the initial base."""
+        self.current = self.initial
+        self.attempts = 0
+
+
+class EwmaLoadEstimator:
+    """Utilization estimate over a :class:`LoadMonitor`'s EWMA rate.
+
+    ``trip``/``clear`` are hysteresis thresholds on utilization (the
+    audio ASP's high/low watermark pattern): :meth:`overloaded` flips
+    to True above ``trip`` and back to False only below ``clear``.
+    """
+
+    def __init__(self, capacity_bps: float, *,
+                 monitor: LoadMonitor | None = None,
+                 trip: float = 0.9, clear: float = 0.7):
+        if capacity_bps <= 0:
+            raise ValueError(f"non-positive capacity {capacity_bps}")
+        if not 0 <= clear <= trip:
+            raise ValueError("need 0 <= clear <= trip")
+        self.capacity_bps = capacity_bps
+        self.monitor = monitor if monitor is not None else LoadMonitor()
+        self.trip = trip
+        self.clear = clear
+        self._overloaded = False
+
+    def record(self, now: float, nbytes: int) -> None:
+        self.monitor.record(now, nbytes)
+
+    def utilization(self, now: float | None = None) -> float:
+        return self.monitor.ewma_rate(now) / self.capacity_bps
+
+    def overloaded(self, now: float | None = None) -> bool:
+        util = self.utilization(now)
+        if self._overloaded:
+            if util < self.clear:
+                self._overloaded = False
+        elif util > self.trip:
+            self._overloaded = True
+        return self._overloaded
+
+
+class AdmissionController:
+    """AIMD admission control over a token bucket.
+
+    ``admit(now)`` spends one token when available.  The bucket refills
+    at ``rate`` requests/second (capped at ``burst`` tokens);
+    :meth:`on_overload` multiplies ``rate`` by ``decrease`` (floored),
+    :meth:`on_healthy` adds ``increase`` (ceilinged) — additive
+    increase, multiplicative decrease.
+    """
+
+    def __init__(self, *, rate: float = 100.0, floor: float = 1.0,
+                 ceiling: float = 10_000.0, increase: float = 1.0,
+                 decrease: float = 0.5, burst: float = 10.0):
+        if not 0 < floor <= ceiling:
+            raise ValueError("need 0 < floor <= ceiling")
+        if not 0 < decrease < 1:
+            raise ValueError(f"decrease {decrease} must be in (0, 1)")
+        self.rate = min(max(rate, floor), ceiling)
+        self.floor = floor
+        self.ceiling = ceiling
+        self.increase = increase
+        self.decrease = decrease
+        self.burst = burst
+        self.admitted = 0
+        self.refused = 0
+        self._tokens = burst
+        self._last: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None and now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last)
+                               * self.rate)
+        self._last = now
+
+    def admit(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens at time ``now`` if available."""
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.admitted += 1
+            return True
+        self.refused += 1
+        return False
+
+    def on_overload(self) -> None:
+        """An overload signal (queue overflow, deadline miss):
+        multiplicative decrease."""
+        self.rate = max(self.floor, self.rate * self.decrease)
+
+    def on_healthy(self) -> None:
+        """A healthy completion: additive increase."""
+        self.rate = min(self.ceiling, self.rate + self.increase)
+
+    def stats_dict(self) -> dict[str, float]:
+        return {"rate": self.rate, "admitted": self.admitted,
+                "refused": self.refused}

@@ -339,14 +339,32 @@ class TcpConnection:
 
 
 class TcpListener:
-    """A passive socket accepting connections on a port."""
+    """A passive socket accepting connections on a port.
+
+    ``backlog`` bounds half-open (SYN_RCVD) connections on the port —
+    the listen queue.  A SYN arriving with the queue full is dropped
+    silently, exactly like a kernel whose SYN queue overflowed: the
+    client retransmits and may win a freed slot later.  ``None`` (the
+    default) keeps the historical unbounded behavior; overload-aware
+    servers pass a bound, which is what makes them SYN-floodable in a
+    *bounded* way (state exhaustion, not memory exhaustion).
+    """
 
     def __init__(self, stack: "TcpStack", port: int,
-                 on_accept: Callable[[TcpConnection], None]):
+                 on_accept: Callable[[TcpConnection], None],
+                 backlog: int | None = None):
         self.stack = stack
         self.port = port
         self.on_accept = on_accept
+        self.backlog = backlog
         self.accepted = 0
+        self.syn_backlog_drops = 0
+
+    def half_open(self) -> int:
+        """Current SYN_RCVD connections on this port."""
+        return sum(1 for c in self.stack._connections.values()
+                   if c.local_port == self.port
+                   and c.state is TcpState.SYN_RCVD)
 
     def close(self) -> None:
         self.stack._listeners.pop(self.port, None)
@@ -368,16 +386,18 @@ class TcpStack:
         self.segments_out = 0
         self.retransmissions = 0
         self.bytes_in = 0
+        self.syn_backlog_drops = 0
         node.register_proto(PROTO_TCP, self._on_packet)
 
     # -- API ----------------------------------------------------------------------
 
     def listen(self, port: int,
-               on_accept: Callable[[TcpConnection], None]) -> TcpListener:
+               on_accept: Callable[[TcpConnection], None], *,
+               backlog: int | None = None) -> TcpListener:
         if port in self._listeners:
             raise TcpError(f"tcp port {port} already listening on "
                            f"{self.node.name}")
-        listener = TcpListener(self, port, on_accept)
+        listener = TcpListener(self, port, on_accept, backlog=backlog)
         self._listeners[port] = listener
         return listener
 
@@ -412,7 +432,8 @@ class TcpStack:
                 "segments_out": self.segments_out,
                 "retransmissions": self.retransmissions,
                 "bytes_in": self.bytes_in,
-                "open_connections": self.open_connections}
+                "open_connections": self.open_connections,
+                "syn_backlog_drops": self.syn_backlog_drops}
 
     # -- demux -------------------------------------------------------------------------
 
@@ -427,6 +448,13 @@ class TcpStack:
             return
         listener = self._listeners.get(header.dst_port)
         if listener is not None and header.syn and not header.ack_flag:
+            if (listener.backlog is not None
+                    and listener.half_open() >= listener.backlog):
+                # SYN queue overflow: silent drop, no RST — the state
+                # a SYN flood exhausts is bounded here by design.
+                listener.syn_backlog_drops += 1
+                self.syn_backlog_drops += 1
+                return
             conn = TcpConnection(self, header.dst_port, packet.ip.src,
                                  header.src_port, self._alloc_iss())
             self._connections[key] = conn

@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 from ..lang.errors import PlanPError
 from ..net.addresses import HostAddr
 from ..net.node import Host, Node
+from ..net.overload import Backoff
 from ..net.sim import EventHandle
 from ..net.topology import Network
 from .planp_layer import PlanPLayer
@@ -346,14 +347,19 @@ class _TargetTransfer:
         self.acked: set[int] = set()
         self.outstanding: set[int] = set()
         self.next_idx = 0
-        self.timeout = policy.initial_timeout
         self._timer: EventHandle | None = None
         self._deadline: EventHandle | None = None
         # Per-transfer jitter stream: retry desynchronization must not
         # depend on what other transfers (or unrelated traffic) drew
         # from the shared stream, so sharded runs stay byte-identical.
-        self._entropy = manager.host.sim.entropy(
-            f"deploy:{xfer}:{target}")
+        # The schedule itself is the shared overload-control Backoff
+        # (one jitter draw per armed timer, doubled per silent firing,
+        # reset on progress).
+        self.backoff = Backoff(
+            initial=policy.initial_timeout, ceiling=policy.max_timeout,
+            multiplier=policy.backoff, jitter=policy.jitter,
+            entropy=manager.host.sim.entropy(
+                f"deploy:{xfer}:{target}"))
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -375,7 +381,7 @@ class _TargetTransfer:
         if self.state != "begin":
             return
         self.state = "data"
-        self.timeout = self.policy.initial_timeout
+        self.backoff.reset()
         self._fill_window()
         self._arm()
 
@@ -384,7 +390,7 @@ class _TargetTransfer:
             return
         self.acked.add(index)
         self.outstanding.discard(index)
-        self.timeout = self.policy.initial_timeout  # progress: reset backoff
+        self.backoff.reset()  # progress: reset backoff
         if len(self.acked) == len(self.chunks):
             self._send_commit()
         else:
@@ -401,7 +407,7 @@ class _TargetTransfer:
         self.acked.clear()
         self.outstanding.clear()
         self.next_idx = 0
-        self.timeout = self.policy.initial_timeout
+        self.backoff.reset()
         self._send_begin()
 
     def finish(self) -> None:
@@ -437,11 +443,8 @@ class _TargetTransfer:
 
     def _arm(self) -> None:
         self._cancel_timer()
-        sim = self.manager.host.sim
-        self._timer = sim.schedule(
-            sim.jittered(self.timeout, self.policy.jitter,
-                         entropy=self._entropy),
-            self._on_timer)
+        self._timer = self.manager.host.sim.schedule(
+            self.backoff.delay(), self._on_timer)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -453,8 +456,7 @@ class _TargetTransfer:
         if self.state == "done":
             return
         self.status.retries += 1
-        self.timeout = min(self.timeout * self.policy.backoff,
-                           self.policy.max_timeout)
+        self.backoff.bump()
         if self.state == "begin":
             self._send_begin()
             return  # _send_begin re-arms

@@ -10,6 +10,7 @@
     python -m repro.tools.obsdump upgrade --lifecycle
     python -m repro.tools.obsdump fuzz --quick
     python -m repro.tools.obsdump scale --shards 4
+    python -m repro.tools.obsdump web --quick --overload
 
 Each mode runs one scenario and dumps its metrics snapshot as sorted
 JSON on stdout; ``--events`` additionally prints the structured event
@@ -36,6 +37,11 @@ its canary window, a compatible one promoted).  Combined with
 ``--lifecycle`` either prints the per-node lifecycle summary —
 rollout generations, vetoes, trips, and rollbacks folded from the
 event log — instead of raw metrics.
+
+``web`` runs the overload drill (a SYN flood against the cluster with
+the shedding defense on); ``--overload`` prints the per-node
+shed/expired fold with the shedding ASP's lifecycle verdict, and
+``--json`` always includes it as the ``overload`` key.
 """
 
 from __future__ import annotations
@@ -47,7 +53,7 @@ import sys
 from ..obs import GLOBAL
 
 MODES = ("demo", "audio", "http", "images", "mpeg", "microbench",
-         "chaos", "upgrade", "fuzz", "scale")
+         "chaos", "upgrade", "fuzz", "scale", "web")
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +209,57 @@ def lifecycle_summary(events: list[dict]) -> dict:
             "nodes": {name: nodes[name] for name in sorted(nodes)}}
 
 
+def _run_web(quick: bool) -> tuple[dict, list]:
+    """The overload drill (SYN flood with the shedding defense on),
+    with its event log — shed/expired decisions at the endpoint,
+    lifecycle events at the gateway."""
+    from ..experiments.web import run_web_experiment
+    from ..obs import Observability
+
+    obs = Observability()
+    result = run_web_experiment(attack="syn", shedding=True,
+                                duration=5.0 if quick else 10.0,
+                                warmup=1.5 if quick else 2.5,
+                                seed=17, obs=obs)
+    events = [record.to_dict() for record in obs.events.filter()]
+    return result.metrics, events
+
+
+def overload_summary(events: list[dict]) -> dict:
+    """Fold an event list into the ``--overload`` view: endpoint shed
+    and expiry decisions grouped per node and reason, plus the
+    lifecycle verdict on the shedding ASP (trips / rollbacks), so one
+    glance shows where the overload went and whether the defense
+    itself stayed healthy."""
+    totals = {"shed": 0, "expired": 0, "trips": 0, "rollbacks": 0}
+    nodes: dict[str, dict] = {}
+
+    def node(name: str) -> dict:
+        return nodes.setdefault(name, {"shed": 0, "expired": 0,
+                                       "reasons": {}})
+
+    for event in events:
+        kind = event.get("kind")
+        if kind == "overload":
+            entry = node(event.get("node", "?"))
+            action = event.get("action", "")
+            if action == "shed":
+                totals["shed"] += 1
+                entry["shed"] += 1
+                reason = event.get("reason", "")
+                entry["reasons"][reason] = (
+                    entry["reasons"].get(reason, 0) + 1)
+            elif action == "expired":
+                totals["expired"] += 1
+                entry["expired"] += 1
+        elif kind == "quarantine" and event.get("action") == "trip":
+            totals["trips"] += 1
+        elif kind == "rollback" and event.get("action") == "start":
+            totals["rollbacks"] += 1
+    return {"totals": totals,
+            "nodes": {name: nodes[name] for name in sorted(nodes)}}
+
+
 def _run_fuzz(quick: bool) -> tuple[dict, list]:
     """A short differential-fuzzing campaign; the snapshot shows the
     ``fuzz.*`` counters (programs, streams, pairs, divergences,
@@ -289,6 +346,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="summarize rollout generations, breaker "
                              "trips and rollbacks per node from the "
                              "event log (instead of raw metrics)")
+    parser.add_argument("--overload", action="store_true",
+                        help="summarize shed/expired decisions per "
+                             "node and the shedding ASP's lifecycle "
+                             "verdict from the event log (instead of "
+                             "raw metrics)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="scale mode: run the topology sharded "
                              "into N segments (default 2) and print "
@@ -311,6 +373,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.mode == "fuzz":
         metrics, events = _run_fuzz(args.quick)
         show_events = args.events
+    elif args.mode == "web":
+        metrics, events = _run_web(args.quick)
+        show_events = args.events
     elif args.mode == "scale":
         metrics, events, shards_doc = _run_scale(
             args.quick, args.shards if args.shards is not None else 2)
@@ -325,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = {"mode": args.mode, "metrics": metrics, "events": events}
         if args.lifecycle:
             doc["lifecycle"] = lifecycle_summary(events)
+        if args.overload or args.mode == "web":
+            doc["overload"] = overload_summary(events)
         if shards_doc is not None:
             doc["shards"] = shards_doc
         with open(args.json, "w") as fp:
@@ -334,6 +401,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.lifecycle:
         json.dump(lifecycle_summary(events), sys.stdout, indent=2,
+                  sort_keys=True, default=str)
+        sys.stdout.write("\n")
+        return 0
+
+    if args.overload:
+        json.dump(overload_summary(events), sys.stdout, indent=2,
                   sort_keys=True, default=str)
         sys.stdout.write("\n")
         return 0

@@ -30,8 +30,9 @@ from typing import Any
 from ..harness import (Runner, ResultStore, Scenario, filter_scenarios,
                        matrix, rehydrate)
 
-MATRIX_CHOICES = ("all", "standard", "smoke", "chaos", "report-quick",
-                  "report-full")
+from ..harness.matrix import MATRICES
+
+MATRIX_CHOICES = ("all", *sorted(MATRICES))
 
 
 def _select(args: argparse.Namespace) -> list[Scenario]:

@@ -1,0 +1,275 @@
+"""HTTP graceful-degradation tests (DESIGN §14).
+
+Server-side: bounded backlog with counted 503 shedding, admission
+control, deadline-aware shed on arrival and expiry at dequeue, and the
+bounded TCP SYN backlog.  Client-side: the jittered-backoff retry of
+the *same* trace entry, 503-as-retryable, and abandonment accounting.
+The historical defaults (every knob ``None``) keep the pre-§14
+unbounded behavior, which ``test_http.py`` continues to cover.
+"""
+
+from repro.apps.http import HttpClientWorker, HttpServer, OpenLoopClient
+from repro.apps.http.trace import TimedRequest, Trace, TraceEntry
+from repro.net import Network
+from repro.net.overload import AdmissionController
+from repro.net.packet import tcp_packet
+
+
+def one_doc_trace(size: int = 1000) -> Trace:
+    return Trace(entries=[TraceEntry("/x.html", size)],
+                 sizes={"/x.html": size})
+
+
+def small_net(**server_kw):
+    net = Network(seed=9)
+    c = net.add_host("c")
+    s = net.add_host("s")
+    net.link(c, s, bandwidth=100e6)
+    net.finalize()
+    trace = one_doc_trace()
+    server = HttpServer(net, s, trace.sizes, **server_kw)
+    return net, c, s, trace, server
+
+
+def arrivals(times) -> list[TimedRequest]:
+    return [TimedRequest(at=t, path="/x.html") for t in times]
+
+
+class TestServerShedding:
+    def test_backlog_full_sheds_503(self):
+        # One worker stuck on a long request; a backlog of 1 means the
+        # third concurrent arrival finds the queue full.
+        net, c, s, trace, server = small_net(
+            workers=1, max_backlog=1, base_cpu_s=0.5)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.01, 0.02, 0.03]))
+        client.start()
+        net.run(until=3.0)
+        assert server.shed >= 2
+        assert client.shed_responses >= 2
+        assert len(client.completed) >= 1  # the goods still get through
+        assert net.obs.metrics.counter(
+            "http.server.shed_total").value == server.shed + server.expired
+
+    def test_shed_emits_overload_event(self):
+        net, c, s, trace, server = small_net(
+            workers=1, max_backlog=1, base_cpu_s=0.5)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.01, 0.02, 0.03]))
+        client.start()
+        net.run(until=3.0)
+        sheds = [e for e in net.obs.events.events
+                 if e.kind == "overload"
+                 and e.data.get("action") == "shed"]
+        assert sheds
+        assert {e.data["reason"] for e in sheds} <= {
+            "backlog-full", "deadline", "admission"}
+
+    def test_admission_refusal_sheds(self):
+        # burst=1 at a 1/s refill: of two simultaneous arrivals exactly
+        # one is admitted.
+        net, c, s, trace, server = small_net(
+            admission=AdmissionController(rate=1.0, floor=1.0,
+                                          burst=1.0))
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.001]))
+        client.start()
+        net.run(until=2.0)
+        assert server.admission.refused == 1
+        assert server.shed == 1
+        assert len(client.completed) == 1
+
+    def test_deadline_shed_on_arrival(self):
+        # The CPU is booked 0.5 s out; a 0.2 s deadline means the later
+        # arrival is guaranteed late — shed immediately, not queued.
+        net, c, s, trace, server = small_net(
+            workers=1, base_cpu_s=0.5, request_deadline=0.2)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.05]))
+        client.start()
+        net.run(until=3.0)
+        assert server.shed == 1
+        assert server.expired == 0
+        assert len(client.completed) == 1
+
+    def test_deadline_expiry_at_dequeue(self):
+        # Each request costs 0.5 s of serial CPU and the deadline is
+        # 0.8 s: the second queues legitimately (0.5 s of queue ahead),
+        # but the third and fourth wait ~1.0/1.5 s — expired when a
+        # worker finally picks them up.
+        net, c, s, trace, server = small_net(
+            workers=1, base_cpu_s=0.5, request_deadline=0.8)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.01, 0.02, 0.03]),
+                                request_timeout=5.0)
+        client.start()
+        net.run(until=4.0)
+        assert server.expired >= 1
+        assert server.requests_served >= 2
+        assert net.obs.metrics.counter(
+            "http.server.expired_total").value == server.expired
+
+    def test_expired_requests_charge_no_cpu(self):
+        net, c, s, trace, server = small_net(
+            workers=1, base_cpu_s=0.5, request_deadline=0.8)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.01, 0.02, 0.03]),
+                                request_timeout=5.0)
+        client.start()
+        net.run(until=4.0)
+        served = server.requests_served
+        # only the served requests consumed serial CPU time
+        assert server._cpu_busy_until <= served * 0.51 + 0.1
+
+    def test_unbounded_defaults_never_shed(self):
+        net, c, s, trace, server = small_net(workers=1, base_cpu_s=0.2)
+        client = OpenLoopClient(net, c, s.address,
+                                arrivals([0.0, 0.01, 0.02, 0.03]),
+                                request_timeout=10.0)
+        client.start()
+        net.run(until=5.0)
+        assert server.shed == 0
+        assert server.expired == 0
+        assert len(client.completed) == 4
+
+
+class TestSynBacklog:
+    def test_syn_queue_overflow_drops(self):
+        net = Network(seed=9)
+        atk = net.add_host("atk")  # no TCP stack: SYNs never complete
+        s = net.add_host("s")
+        net.link(atk, s, bandwidth=100e6)
+        net.finalize()
+        trace = one_doc_trace()
+        server = HttpServer(net, s, trace.sizes, syn_backlog=2)
+        for k in range(6):
+            net.sim.at(0.01 + 0.001 * k,
+                       lambda k=k: atk.ip_send(
+                           tcp_packet(atk.address, s.address,
+                                      10_000 + k, server.port,
+                                      syn=True, seq=k)))
+        net.run(until=0.5)
+        stack = net.tcp(s)
+        # 2 half-open slots pinned by the first SYNs, the rest dropped
+        assert stack.syn_backlog_drops == 4
+        assert stack.stats_dict()["syn_backlog_drops"] == 4
+
+    def test_real_client_survives_bounded_backlog(self):
+        net, c, s, trace, server = small_net(syn_backlog=2)
+        worker = HttpClientWorker(net, c, s.address, trace)
+        worker.start()
+        net.run(until=1.0)
+        assert worker.completed
+        assert net.tcp(s).syn_backlog_drops == 0
+
+
+class TestClientRetry:
+    def test_connect_failure_retries_then_abandons(self):
+        # The server host has a TCP stack but nothing listening on 80:
+        # every connection attempt is refused.
+        net = Network(seed=9)
+        c = net.add_host("c")
+        s = net.add_host("s")
+        net.link(c, s, bandwidth=100e6)
+        net.finalize()
+        net.tcp(s)  # stack up, port closed -> RST
+        worker = HttpClientWorker(net, c, s.address, one_doc_trace(),
+                                  max_retries=2, retry_delay=0.05,
+                                  retry_ceiling=0.2)
+        worker.start()
+        net.run(until=5.0)
+        assert not worker.completed
+        assert worker.abandoned >= 2
+        # per abandoned entry: max_retries retries then one abandonment
+        assert worker.retries >= 2 * (worker.abandoned - 1)
+        assert worker.failures >= worker.retries
+        assert net.obs.metrics.counter(
+            "http.client.abandoned_total").value == worker.abandoned
+        assert net.obs.metrics.counter(
+            "http.client.retries_total").value == worker.retries
+
+    def test_retry_reissues_same_entry(self):
+        # Two-entry trace against a dead port, max_retries=1: entries
+        # must be abandoned in order, one at a time — the retry re-runs
+        # the same entry instead of silently skipping ahead.
+        net = Network(seed=9)
+        c = net.add_host("c")
+        s = net.add_host("s")
+        net.link(c, s, bandwidth=100e6)
+        net.finalize()
+        net.tcp(s)
+        trace = Trace(entries=[TraceEntry("/a.html", 10),
+                               TraceEntry("/b.html", 10)],
+                      sizes={"/a.html": 10, "/b.html": 10})
+        worker = HttpClientWorker(net, c, s.address, trace,
+                                  max_retries=1, retry_delay=0.05)
+        paths = []
+        original = worker._next_request
+
+        def spy():
+            original()
+            paths.append(worker._current_path)
+
+        worker._next_request = spy
+        worker.start()
+        net.run(until=1.0)
+        assert paths[0] == "/a.html"
+        assert paths[1] == "/a.html"  # the retry, not /b.html
+        assert "/b.html" in paths
+
+    def test_shed_response_retried_until_success(self):
+        # An admission controller that refuses bursts but refills: the
+        # client sees 503s, backs off, and eventually completes.
+        net, c, s, trace, server = small_net(
+            admission=AdmissionController(rate=2.0, floor=2.0,
+                                          burst=1.0))
+        workers = [HttpClientWorker(net, c, s.address, trace,
+                                    trace_offset=i, retry_delay=0.1)
+                   for i in range(3)]
+        for i, w in enumerate(workers):
+            w.start(at=0.001 * i)
+        net.run(until=10.0)
+        assert sum(w.shed_responses for w in workers) > 0
+        assert sum(len(w.completed) for w in workers) > 5
+        shed = sum(w.shed_responses for w in workers)
+        assert net.obs.metrics.counter(
+            "http.client.shed_responses_total").value == shed
+
+    def test_abandonment_moves_to_next_entry(self):
+        net, c, s, trace, server = small_net(
+            admission=AdmissionController(rate=1.0, floor=1.0,
+                                          burst=1.0))
+        worker = HttpClientWorker(net, c, s.address, trace,
+                                  max_retries=0, retry_delay=0.05)
+        worker.start()
+        net.run(until=5.0)
+        # max_retries=0: every 503 is an immediate abandonment, yet the
+        # worker keeps making progress on later entries
+        assert worker.abandoned > 0
+        assert worker.retries == 0
+        assert len(worker.completed) > 0
+
+    def test_backoff_spreads_retries(self):
+        net = Network(seed=9)
+        c = net.add_host("c")
+        s = net.add_host("s")
+        net.link(c, s, bandwidth=100e6)
+        net.finalize()
+        net.tcp(s)
+        worker = HttpClientWorker(net, c, s.address, one_doc_trace(),
+                                  max_retries=6, retry_delay=0.1,
+                                  retry_ceiling=1.0)
+        starts = []
+        original = worker._next_request
+
+        def spy():
+            starts.append(net.sim.now)
+            original()
+
+        worker._next_request = spy
+        worker.start()
+        net.run(until=3.0)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert len(gaps) >= 4
+        # exponential growth: later retry gaps dominate earlier ones
+        assert max(gaps[2:]) > gaps[0] * 1.5

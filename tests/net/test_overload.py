@@ -1,0 +1,235 @@
+"""Overload-control mechanism tests (DESIGN §14).
+
+Covers the three pure mechanisms in :mod:`repro.net.overload` —
+Backoff, EwmaLoadEstimator, AdmissionController — plus property tests
+for the hardened :class:`~repro.net.monitor.LoadMonitor` (out-of-order
+records must keep the window sum exact and the bucket deque sorted).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.monitor import LoadMonitor
+from repro.net.overload import AdmissionController, Backoff, EwmaLoadEstimator
+
+
+class TestBackoff:
+    def test_unjittered_is_deterministic(self):
+        b = Backoff(initial=0.1, ceiling=1.0, entropy=None)
+        assert b.delay() == pytest.approx(0.1)
+        assert b.delay() == pytest.approx(0.1)  # delay() draws nothing
+
+    def test_bump_doubles_toward_ceiling(self):
+        b = Backoff(initial=0.1, ceiling=0.5, entropy=None)
+        delays = []
+        for _ in range(5):
+            delays.append(b.delay())
+            b.bump()
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+        assert b.attempts == 5
+
+    def test_reset_restores_initial(self):
+        b = Backoff(initial=0.1, ceiling=2.0, entropy=None)
+        b.bump()
+        b.bump()
+        assert b.delay() == pytest.approx(0.4)
+        b.reset()
+        assert b.delay() == pytest.approx(0.1)
+        assert b.attempts == 0
+
+    def test_jitter_stays_within_band(self):
+        b = Backoff(initial=0.1, ceiling=1.0, jitter=0.5,
+                    entropy=random.Random(7))
+        for _ in range(200):
+            d = b.delay()
+            assert 0.05 <= d <= 0.15
+
+    def test_jitter_matches_sim_formula(self):
+        # One entropy draw per delay(), same formula as
+        # Simulator.jittered — the contract netdeploy relies on when it
+        # swaps its ad-hoc timer math for the shared Backoff.
+        b = Backoff(initial=0.2, ceiling=2.0, jitter=0.5,
+                    entropy=random.Random(42))
+        ref = random.Random(42)
+        for _ in range(20):
+            expected = 0.2 * (1.0 + 0.5 * (2.0 * ref.random() - 1.0))
+            assert b.delay() == pytest.approx(expected)
+
+    def test_same_entropy_same_schedule(self):
+        a = Backoff(initial=0.1, ceiling=1.0, entropy=random.Random(3))
+        b = Backoff(initial=0.1, ceiling=1.0, entropy=random.Random(3))
+        seq_a, seq_b = [], []
+        for _ in range(10):
+            seq_a.append(a.delay())
+            a.bump()
+            seq_b.append(b.delay())
+            b.bump()
+        assert seq_a == seq_b
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            Backoff(initial=0.0, ceiling=1.0)
+        with pytest.raises(ValueError):
+            Backoff(initial=1.0, ceiling=0.5)
+        with pytest.raises(ValueError):
+            Backoff(initial=0.1, ceiling=1.0, multiplier=0.5)
+
+
+class TestAdmissionController:
+    def test_burst_then_refusal(self):
+        ac = AdmissionController(rate=10.0, burst=3.0)
+        admitted = [ac.admit(0.0) for _ in range(5)]
+        assert admitted == [True, True, True, False, False]
+        assert ac.admitted == 3
+        assert ac.refused == 2
+
+    def test_refills_at_rate(self):
+        ac = AdmissionController(rate=10.0, burst=2.0)
+        assert ac.admit(0.0)
+        assert ac.admit(0.0)
+        assert not ac.admit(0.0)
+        # 0.1 s at 10 tokens/s refills exactly one token
+        assert ac.admit(0.1)
+        assert not ac.admit(0.1)
+
+    def test_aimd_decrease_and_floor(self):
+        ac = AdmissionController(rate=100.0, floor=10.0, decrease=0.5)
+        ac.on_overload()
+        assert ac.rate == pytest.approx(50.0)
+        for _ in range(10):
+            ac.on_overload()
+        assert ac.rate == pytest.approx(10.0)  # floored
+
+    def test_aimd_increase_and_ceiling(self):
+        ac = AdmissionController(rate=99.0, ceiling=100.0, increase=2.0)
+        ac.on_healthy()
+        assert ac.rate == pytest.approx(100.0)  # ceilinged
+        ac.on_healthy()
+        assert ac.rate == pytest.approx(100.0)
+
+    def test_rate_clamped_at_construction(self):
+        ac = AdmissionController(rate=1e9, floor=1.0, ceiling=500.0)
+        assert ac.rate == pytest.approx(500.0)
+
+    def test_stats_dict(self):
+        ac = AdmissionController(rate=5.0, burst=1.0)
+        ac.admit(0.0)
+        ac.admit(0.0)
+        assert ac.stats_dict() == {"rate": 5.0, "admitted": 1,
+                                   "refused": 1}
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(floor=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(floor=10.0, ceiling=5.0)
+        with pytest.raises(ValueError):
+            AdmissionController(decrease=1.5)
+
+
+class TestEwmaLoadEstimator:
+    def fill(self, est, start, seconds, bytes_per_bucket):
+        t = start
+        monitor = est.monitor
+        steps = int(seconds / monitor.bucket)
+        for _ in range(steps):
+            est.record(t, bytes_per_bucket)
+            t += monitor.bucket
+        return t
+
+    def test_utilization_tracks_rate(self):
+        est = EwmaLoadEstimator(80_000.0)  # 10 kB/s capacity
+        # 500 B per 0.1 s bucket = 40 kbit/s = 50% utilization
+        t = self.fill(est, 0.0, 3.0, 500)
+        assert est.utilization(t) == pytest.approx(0.5, rel=0.1)
+
+    def test_hysteresis_trip_and_clear(self):
+        est = EwmaLoadEstimator(80_000.0, trip=0.9, clear=0.7)
+        t = self.fill(est, 0.0, 3.0, 1000)  # 100% utilization
+        assert est.overloaded(t)
+        # falling to 80% stays tripped (above clear)
+        t = self.fill(est, t, 3.0, 800)
+        assert est.overloaded(t)
+        # falling to 50% clears
+        t = self.fill(est, t, 3.0, 500)
+        assert not est.overloaded(t)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            EwmaLoadEstimator(0.0)
+        with pytest.raises(ValueError):
+            EwmaLoadEstimator(1000.0, trip=0.5, clear=0.8)
+
+
+class TestLoadMonitorOutOfOrder:
+    def test_late_record_merges_into_window(self):
+        m = LoadMonitor(window=1.0, bucket=0.1)
+        m.record(0.50, 100)
+        m.record(0.90, 100)
+        m.record(0.55, 100)  # late: lands in the 0.5 slot
+        assert m.bytes_in_window(0.9) == 300
+        assert m.total_bytes == 300
+
+    def test_late_record_creates_missing_slot_sorted(self):
+        m = LoadMonitor(window=2.0, bucket=0.1)
+        m.record(0.10, 10)
+        m.record(0.90, 30)
+        m.record(0.50, 20)  # late, between existing slots
+        slots = [s for s, _n in m._buckets]
+        assert slots == sorted(slots)
+        assert m.bytes_in_window(0.9) == 60
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0,
+                                        allow_nan=False),
+                              st.integers(1, 5000)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_window_sum_exact_under_reordering(self, events):
+        m = LoadMonitor(window=20.0, bucket=0.1)
+        for now, nbytes in events:
+            m.record(now, nbytes)
+        slots = [s for s, _n in m._buckets]
+        assert slots == sorted(slots)
+        assert len(slots) == len(set(slots))  # one bucket per slot
+        latest = max(now for now, _ in events)
+        # window (20 s) covers every event in [0, 10]: exact sum
+        assert m.bytes_in_window(latest) == sum(n for _, n in events)
+        assert m.total_bytes == sum(n for _, n in events)
+        assert m.total_packets == len(events)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=5.0,
+                                        allow_nan=False),
+                              st.integers(1, 5000)),
+                    min_size=1, max_size=60),
+           st.floats(min_value=5.0, max_value=20.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_ewma_rate_finite_and_nonnegative(self, events, query_at):
+        m = LoadMonitor(window=1.0, bucket=0.1)
+        for now, nbytes in events:
+            m.record(now, nbytes)
+        rate = m.ewma_rate(query_at)
+        assert rate >= 0.0
+        # bounded by the max single-bucket burst rate
+        assert rate <= sum(n for _, n in events) * 8 / m.bucket
+        # querying must not mutate state
+        assert m.ewma_rate(query_at) == rate
+
+    def test_ewma_converges_to_steady_rate(self):
+        m = LoadMonitor(window=1.0, bucket=0.1, ewma_alpha=0.3)
+        t = 0.0
+        for _ in range(100):
+            m.record(t, 1000)  # 1000 B / 0.1 s = 80 kbit/s
+            t += 0.1
+        assert m.ewma_rate(t) == pytest.approx(80_000.0, rel=0.05)
+
+    def test_ewma_decays_over_silence(self):
+        m = LoadMonitor(window=1.0, bucket=0.1)
+        t = 0.0
+        for _ in range(30):
+            m.record(t, 1000)
+            t += 0.1
+        busy = m.ewma_rate(t)
+        assert m.ewma_rate(t + 5.0) < busy * 0.01
